@@ -1,0 +1,73 @@
+#include "common.hpp"
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace vmap::benchutil {
+
+void add_common_flags(CliArgs& args) {
+  args.add_flag("cache", "vmap_dataset.cache",
+                "dataset cache path ('' disables caching)");
+  args.add_bool("quick", false,
+                "reduced sample counts for fast smoke runs");
+  args.add_flag("seed", "20150607", "experiment seed");
+  args.add_flag("lambda-scale", "0.10",
+                "internal budget per unit of paper lambda");
+  args.add_bool("verbose", false, "log collection progress");
+  args.add_flag("emergency-rate", "0.30",
+                "calibrated chip-level emergency base rate (0 = use "
+                "--target-droop instead)");
+  args.add_flag("target-droop", "0.26",
+                "calibrated worst-case droop depth in volts (fallback when "
+                "--emergency-rate is 0)");
+  args.add_bool("two-layer", false,
+                "model a low-resistance top-metal mesh over the device grid "
+                "(changes the platform; dataset re-collects)");
+  args.add_flag("pad-inductance", "0",
+                "package inductance per pad in henries, e.g. 5e-10 "
+                "(changes the platform; dataset re-collects)");
+}
+
+Platform load_platform(const CliArgs& args) {
+  set_log_level(args.get_bool("verbose") ? LogLevel::kInfo : LogLevel::kWarn);
+
+  Platform platform;
+  platform.setup = core::default_setup();
+  platform.setup.data.seed =
+      static_cast<std::uint64_t>(args.get_int("seed"));
+  platform.setup.data.target_emergency_rate =
+      args.get_double("emergency-rate");
+  platform.setup.data.target_droop = args.get_double("target-droop");
+  platform.setup.grid.two_layer = args.get_bool("two-layer");
+  platform.setup.grid.pad_inductance = args.get_double("pad-inductance");
+  if (args.get_bool("quick")) {
+    platform.setup.data.train_maps_per_benchmark = 80;
+    platform.setup.data.test_maps_per_benchmark = 40;
+    platform.setup.data.warmup_steps = 150;
+    platform.setup.data.calibration_steps = 300;
+  }
+
+  platform.grid = std::make_unique<grid::PowerGrid>(platform.setup.grid);
+  platform.floorplan = std::make_unique<chip::Floorplan>(
+      *platform.grid, platform.setup.floorplan);
+  platform.suite = workload::parsec_like_suite();
+
+  Timer timer;
+  platform.data =
+      core::load_or_collect(args.get("cache"), *platform.grid,
+                            *platform.floorplan, platform.setup.data,
+                            platform.suite);
+  std::fprintf(stderr,
+               "[platform] M=%zu candidates, K=%zu blocks, N_train=%zu, "
+               "N_test=%zu (%.1f s)\n",
+               platform.data.num_candidates(), platform.data.num_blocks(),
+               platform.data.x_train.cols(), platform.data.x_test.cols(),
+               timer.seconds());
+  return platform;
+}
+
+double scaled_lambda(const CliArgs& args, double paper_lambda) {
+  return paper_lambda * args.get_double("lambda-scale");
+}
+
+}  // namespace vmap::benchutil

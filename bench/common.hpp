@@ -1,0 +1,45 @@
+#pragma once
+// Shared harness for the experiment-reproduction benches.
+//
+// Every bench binary regenerates one table/figure of the paper on the same
+// canonical platform (core::default_setup()). Because full data collection
+// costs minutes of transient simulation, the collected dataset is cached on
+// disk (vmap_dataset.cache by default) and reused across binaries — the
+// cache is keyed to the full DataConfig, so changing flags forces a
+// re-collection automatically.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chip/floorplan.hpp"
+#include "core/dataset.hpp"
+#include "core/experiment.hpp"
+#include "grid/power_grid.hpp"
+#include "util/cli.hpp"
+#include "workload/benchmark_suite.hpp"
+
+namespace vmap::benchutil {
+
+/// Everything a bench needs: configured substrate + collected data.
+struct Platform {
+  core::ExperimentSetup setup;
+  std::unique_ptr<grid::PowerGrid> grid;
+  std::unique_ptr<chip::Floorplan> floorplan;
+  std::vector<workload::BenchmarkProfile> suite;
+  core::Dataset data;
+};
+
+/// Registers the flags shared by all experiment benches.
+void add_common_flags(CliArgs& args);
+
+/// Builds the platform from parsed flags (collects or loads the dataset).
+Platform load_platform(const CliArgs& args);
+
+/// Paper-λ to internal group-lasso budget: the paper sweeps λ ∈ [10, 60] on
+/// its (unnormalized-objective) SOCP; our normalized-Gram budget lives on a
+/// different scale, so benches convert with budget = λ · scale. The default
+/// scale maps λ = 10 … 60 onto roughly the paper's 2 … 16 sensors/core.
+double scaled_lambda(const CliArgs& args, double paper_lambda);
+
+}  // namespace vmap::benchutil

@@ -1,0 +1,139 @@
+// Reproduces Fig. 1: the group-lasso coefficient norms ||β_m||₂ for every
+// sensor candidate in one core, at two λ values (paper: λ = 10 and λ = 30).
+//
+// The paper's observation: selected candidates have ||β_m||₂ well above the
+// threshold T = 1e-3 while rejected ones sit around 1e-5 … 1e-10, so the
+// threshold choice is uncritical. This harness prints the per-candidate
+// norm series (the figure's y-values), a log10 histogram, and the
+// selected/rejected gap statistics.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/group_lasso.hpp"
+#include "core/normalizer.hpp"
+#include "core/sensor_selection.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+vmap::core::GroupLassoResult solve_core_gl(
+    const vmap::benchutil::Platform& platform, std::size_t core,
+    double budget) {
+  using namespace vmap;
+  const auto candidate_rows =
+      platform.data.candidate_rows_for_core(*platform.floorplan, core);
+  const auto block_rows = platform.floorplan->block_ids_in_core(core);
+  const linalg::Matrix x = platform.data.x_train.select_rows(candidate_rows);
+  const linalg::Matrix f = platform.data.f_train.select_rows(block_rows);
+  const core::Normalizer xn(x), fn(f);
+  core::GroupLasso solver(
+      core::GroupLassoProblem::from_data(xn.normalize(x), fn.normalize(f)));
+  return solver.solve_budget(budget);
+}
+
+void print_histogram(const vmap::linalg::Vector& norms) {
+  // log10 histogram over decades [-12, 1).
+  constexpr int kLo = -12, kHi = 1;
+  int bins[kHi - kLo] = {};
+  int zeros = 0;
+  for (std::size_t m = 0; m < norms.size(); ++m) {
+    if (norms[m] <= 0.0) {
+      ++zeros;
+      continue;
+    }
+    int d = static_cast<int>(std::floor(std::log10(norms[m])));
+    d = std::clamp(d, kLo, kHi - 1);
+    ++bins[d - kLo];
+  }
+  std::printf("  exact zeros: %d\n", zeros);
+  for (int d = kLo; d < kHi; ++d) {
+    if (bins[d - kLo] == 0) continue;
+    std::printf("  1e%+03d..1e%+03d : %4d ", d, d + 1, bins[d - kLo]);
+    for (int i = 0; i < std::min(bins[d - kLo], 60); ++i) std::putchar('#');
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vmap;
+  CliArgs args(
+      "fig1_beta_norms — Fig. 1: ||beta_m||_2 per sensor candidate in one "
+      "core at two lambda values");
+  benchutil::add_common_flags(args);
+  args.add_flag("core", "0", "which core to analyze");
+  args.add_flag("lambda1", "10", "first paper lambda");
+  args.add_flag("lambda2", "30", "second paper lambda");
+  args.add_flag("threshold", "1e-3", "selection threshold T");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    const auto platform = benchutil::load_platform(args);
+    const auto core_index = static_cast<std::size_t>(args.get_int("core"));
+    const double threshold = args.get_double("threshold");
+
+    std::printf("== Fig. 1: ||beta_m||_2 for sensor candidates in core %zu "
+                "==\n",
+                core_index);
+    for (const char* flag : {"lambda1", "lambda2"}) {
+      const double paper_lambda = args.get_double(flag);
+      const double budget = benchutil::scaled_lambda(args, paper_lambda);
+      const auto gl = solve_core_gl(platform, core_index, budget);
+      const auto selection = core::select_sensors(gl, threshold);
+
+      std::printf("\n-- lambda = %.0f (budget %.2f): %zu of %zu candidates "
+                  "selected (T = %g) --\n",
+                  paper_lambda, budget, selection.count(),
+                  gl.group_norms.size(), threshold);
+      print_histogram(gl.group_norms);
+
+      // The figure's headline: the norm gap across the threshold.
+      double min_selected = 1e300, max_rejected = 0.0;
+      for (std::size_t m = 0; m < gl.group_norms.size(); ++m) {
+        if (gl.group_norms[m] > threshold)
+          min_selected = std::min(min_selected, gl.group_norms[m]);
+        else
+          max_rejected = std::max(max_rejected, gl.group_norms[m]);
+      }
+      if (selection.count() > 0) {
+        std::printf("  smallest selected ||beta||: %.3e\n", min_selected);
+        if (max_rejected > 0.0) {
+          std::printf("  largest rejected  ||beta||: %.3e (gap %.0fx)\n",
+                      max_rejected, min_selected / max_rejected);
+        } else {
+          std::printf("  all rejected candidates have exactly zero "
+                      "coefficients (BCD shrinks them to 0; the SOCP in the "
+                      "paper leaves 1e-5..1e-10 residue)\n");
+        }
+      }
+
+      TablePrinter top({"rank", "candidate row", "grid node", "||beta_m||_2",
+                        "selected"});
+      std::vector<std::size_t> order(gl.group_norms.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return gl.group_norms[a] > gl.group_norms[b];
+      });
+      const auto candidate_rows = platform.data.candidate_rows_for_core(
+          *platform.floorplan, core_index);
+      const std::size_t show = std::min<std::size_t>(12, order.size());
+      for (std::size_t i = 0; i < show; ++i) {
+        const std::size_t m = order[i];
+        top.add_row(
+            {TablePrinter::fmt(i + 1), TablePrinter::fmt(candidate_rows[m]),
+             TablePrinter::fmt(platform.data.candidate_nodes[candidate_rows[m]]),
+             TablePrinter::sci(gl.group_norms[m], 3),
+             gl.group_norms[m] > threshold ? "yes" : "no"});
+      }
+      top.print(std::cout);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

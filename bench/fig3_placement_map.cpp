@@ -1,0 +1,139 @@
+// Reproduces Fig. 3: where Eagle-Eye and the proposed approach place seven
+// sensors in one core.
+//
+// The paper's observation: Eagle-Eye concentrates six of seven sensors
+// around the worst-noise (execution) unit, while the GL-based approach
+// keeps only about half there and spreads the rest across other units,
+// because it optimizes correlation with *all* monitored blocks rather than
+// noise severity. We render both placements on the core's ASCII floorplan
+// (blocks drawn as unit letters, sensors as '*') and print per-unit sensor
+// histograms (each sensor attributed to its nearest function block's unit).
+
+#include <cstdio>
+#include <iostream>
+#include <limits>
+
+#include "common.hpp"
+#include "core/eagle_eye.hpp"
+#include "core/pipeline.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace vmap;
+
+/// Unit of the function block nearest to `node` (grid distance).
+chip::UnitKind nearest_unit(const benchutil::Platform& platform,
+                            std::size_t node) {
+  double best = std::numeric_limits<double>::infinity();
+  chip::UnitKind unit = chip::UnitKind::kMisc;
+  for (const auto& block : platform.floorplan->blocks()) {
+    for (std::size_t bn : block.nodes) {
+      const double d = platform.grid->distance_um(node, bn);
+      if (d < best) {
+        best = d;
+        unit = block.unit;
+      }
+    }
+  }
+  return unit;
+}
+
+/// Renders the core region's slice of the full-chip ASCII map.
+void print_core_map(const benchutil::Platform& platform, std::size_t core,
+                    const std::vector<std::size_t>& sensor_nodes) {
+  const std::string full = platform.floorplan->ascii_map(sensor_nodes);
+  const auto& gc = platform.setup.grid;
+  const std::size_t slot_w = gc.nx / platform.setup.floorplan.cores_x;
+  const std::size_t slot_h = gc.ny / platform.setup.floorplan.cores_y;
+  const std::size_t cx = core % platform.setup.floorplan.cores_x;
+  const std::size_t cy = core / platform.setup.floorplan.cores_x;
+  for (std::size_t y = cy * slot_h; y < (cy + 1) * slot_h; ++y) {
+    const std::size_t line_start = y * (gc.nx + 1);  // +1 for newline
+    fwrite(full.data() + line_start + cx * slot_w, 1, slot_w, stdout);
+    std::putchar('\n');
+  }
+}
+
+void print_unit_histogram(const benchutil::Platform& platform,
+                          const std::vector<std::size_t>& sensor_nodes) {
+  int histogram[chip::kUnitKindCount] = {};
+  for (std::size_t node : sensor_nodes)
+    ++histogram[static_cast<std::size_t>(nearest_unit(platform, node))];
+  std::printf("  sensors by nearest unit: ");
+  for (std::size_t u = 0; u < chip::kUnitKindCount; ++u) {
+    if (histogram[u] == 0) continue;
+    std::printf("%s=%d ", chip::unit_name(static_cast<chip::UnitKind>(u)),
+                histogram[u]);
+  }
+  std::putchar('\n');
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(
+      "fig3_placement_map — Fig. 3: sensor locations chosen by Eagle-Eye vs "
+      "the proposed approach (7 sensors in one core)");
+  benchutil::add_common_flags(args);
+  args.add_flag("core", "0", "which core to draw");
+  args.add_flag("sensors", "7", "sensors per core");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    const auto platform = benchutil::load_platform(args);
+    const auto core = static_cast<std::size_t>(args.get_int("core"));
+    const auto count = static_cast<std::size_t>(args.get_int("sensors"));
+
+    // Eagle-Eye placement (worst-noise ranking, the behaviour Fig. 3 shows).
+    core::EagleEyeOptions ee;
+    ee.strategy = core::EagleEyeStrategy::kWorstNoise;
+    const auto eagle_rows =
+        core::eagle_eye_place(platform.data, *platform.floorplan, count, ee);
+
+    // Proposed placement: top-`count` GL selection in each core.
+    core::PipelineConfig config;
+    config.lambda = benchutil::scaled_lambda(args, 60.0);
+    config.sensors_per_core = count;
+    const auto model =
+        core::fit_placement(platform.data, *platform.floorplan, config);
+
+    auto rows_in_core = [&](const std::vector<std::size_t>& rows) {
+      std::vector<std::size_t> nodes;
+      const auto core_rows =
+          platform.data.candidate_rows_for_core(*platform.floorplan, core);
+      for (std::size_t row : rows) {
+        for (std::size_t cr : core_rows) {
+          if (cr == row) {
+            nodes.push_back(platform.data.candidate_nodes[row]);
+            break;
+          }
+        }
+      }
+      return nodes;
+    };
+    const auto eagle_nodes = rows_in_core(eagle_rows);
+    const auto proposed_nodes = rows_in_core(model.sensor_rows());
+
+    std::printf("== Fig. 3: %zu-sensor placements in core %zu ==\n", count,
+                core);
+    std::printf("legend: F=IFU D=IDU E=EXE(worst noise) L=LSU P=FPU $=L2 "
+                "M=MISC .=blank area *=sensor\n");
+
+    std::printf("\n-- Eagle-Eye (worst-noise ranking), %zu sensors --\n",
+                eagle_nodes.size());
+    print_core_map(platform, core, eagle_nodes);
+    print_unit_histogram(platform, eagle_nodes);
+
+    std::printf("\n-- Proposed (group-lasso correlation), %zu sensors --\n",
+                proposed_nodes.size());
+    print_core_map(platform, core, proposed_nodes);
+    print_unit_histogram(platform, proposed_nodes);
+
+    std::printf("\n(paper: Eagle-Eye clusters ~6/7 sensors at the EXE unit; "
+                "the proposed approach spreads sensors across units)\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

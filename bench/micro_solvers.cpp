@@ -1,0 +1,163 @@
+// Engineering microbenchmarks (google-benchmark): group-lasso solver
+// scaling (BCD vs FISTA), sparse direct vs iterative grid solves, transient
+// step cost, and least-squares kernels. These back DESIGN.md §5's ablation
+// notes rather than any specific paper figure.
+
+#include <benchmark/benchmark.h>
+
+#include "core/group_lasso.hpp"
+#include "grid/power_grid.hpp"
+#include "grid/transient.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/qr.hpp"
+#include "sparse/cg.hpp"
+#include "sparse/skyline_cholesky.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace vmap;
+
+linalg::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  return m;
+}
+
+core::GroupLassoProblem planted_problem(std::size_t m, std::size_t k,
+                                        std::size_t n) {
+  Rng rng(42);
+  linalg::Matrix z = random_matrix(m, n, 1);
+  linalg::Matrix beta(k, m);
+  for (std::size_t s = 0; s < m; s += m / 4 + 1)
+    for (std::size_t kk = 0; kk < k; ++kk) beta(kk, s) = rng.normal();
+  linalg::Matrix g = linalg::matmul(beta, z);
+  for (std::size_t kk = 0; kk < k; ++kk)
+    for (std::size_t c = 0; c < n; ++c) g(kk, c) += 0.1 * rng.normal();
+  return core::GroupLassoProblem::from_data(z, g);
+}
+
+void BM_GroupLassoBcd(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto problem = planted_problem(m, 30, 1000);
+  core::GroupLasso solver(problem);
+  const double mu = solver.mu_max() * 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_penalized(mu));
+  }
+  state.SetLabel("M=" + std::to_string(m) + " K=30 N=1000");
+}
+BENCHMARK(BM_GroupLassoBcd)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GroupLassoFista(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto problem = planted_problem(m, 30, 1000);
+  core::GroupLassoOptions options;
+  options.solver = core::GlSolver::kFista;
+  options.max_iterations = 5000;
+  core::GroupLasso solver(problem, options);
+  const double mu = solver.mu_max() * 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_penalized(mu));
+  }
+  state.SetLabel("M=" + std::to_string(m) + " K=30 N=1000");
+}
+BENCHMARK(BM_GroupLassoFista)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GroupLassoBudget(benchmark::State& state) {
+  const auto problem = planted_problem(128, 30, 1000);
+  core::GroupLasso solver(problem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_budget(2.0));
+  }
+  state.SetLabel("budget path, M=128");
+}
+BENCHMARK(BM_GroupLassoBudget);
+
+grid::GridConfig bench_grid(std::size_t n) {
+  grid::GridConfig c;
+  c.nx = n;
+  c.ny = n;
+  c.pad_spacing = 12;
+  return c;
+}
+
+void BM_SkylineFactorize(benchmark::State& state) {
+  const grid::PowerGrid grid(bench_grid(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    sparse::SkylineCholesky factor(grid.conductance());
+    benchmark::DoNotOptimize(factor.envelope_size());
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "x" +
+                 std::to_string(state.range(0)) + " grid");
+}
+BENCHMARK(BM_SkylineFactorize)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_SkylineSolve(benchmark::State& state) {
+  const grid::PowerGrid grid(bench_grid(static_cast<std::size_t>(state.range(0))));
+  const sparse::SkylineCholesky factor(grid.conductance());
+  Rng rng(3);
+  linalg::Vector b(grid.node_count());
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+  for (auto _ : state) benchmark::DoNotOptimize(factor.solve(b));
+  state.SetLabel(std::to_string(state.range(0)) + "x" +
+                 std::to_string(state.range(0)) + " grid");
+}
+BENCHMARK(BM_SkylineSolve)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_PcgIc0Solve(benchmark::State& state) {
+  const grid::PowerGrid grid(bench_grid(static_cast<std::size_t>(state.range(0))));
+  const auto& a = grid.conductance();
+  const auto precond = sparse::ic0_preconditioner(a);
+  Rng rng(4);
+  linalg::Vector b(grid.node_count());
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+  sparse::CgOptions options;
+  options.tolerance = 1e-10;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sparse::conjugate_gradient(a, b, precond, options));
+  state.SetLabel(std::to_string(state.range(0)) + "x" +
+                 std::to_string(state.range(0)) + " grid");
+}
+BENCHMARK(BM_PcgIc0Solve)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_TransientStep(benchmark::State& state) {
+  const grid::PowerGrid grid(bench_grid(static_cast<std::size_t>(state.range(0))));
+  grid::TransientSim sim(grid, 100e-12);
+  Rng rng(5);
+  linalg::Vector load(grid.node_count());
+  for (std::size_t i = 0; i < load.size(); ++i)
+    load[i] = rng.bernoulli(0.3) ? 1e-3 : 0.0;
+  for (auto _ : state) benchmark::DoNotOptimize(sim.step(load));
+  state.SetLabel(std::to_string(state.range(0)) + "x" +
+                 std::to_string(state.range(0)) + " grid");
+}
+BENCHMARK(BM_TransientStep)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_QrLeastSquares(benchmark::State& state) {
+  const auto a = random_matrix(1000, static_cast<std::size_t>(state.range(0)), 6);
+  Rng rng(7);
+  linalg::Vector b(1000);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+  for (auto _ : state) benchmark::DoNotOptimize(linalg::lstsq(a, b));
+  state.SetLabel("1000x" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_QrLeastSquares)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_NormalEquations(benchmark::State& state) {
+  const auto a = random_matrix(1000, static_cast<std::size_t>(state.range(0)), 6);
+  Rng rng(7);
+  linalg::Vector b(1000);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(linalg::solve_normal_equations(a, b));
+  state.SetLabel("1000x" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_NormalEquations)->Arg(8)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

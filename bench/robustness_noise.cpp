@@ -1,0 +1,95 @@
+// Robustness study: how much of the methodology survives realistic
+// sensors?
+//
+// The paper evaluates with ideal sensor readings. Here the placed sensors
+// are degraded with ADC quantization, thermal noise, and per-instance
+// offsets; two training regimes are compared at every noise level:
+//   * clean-trained  — the design-time model sees ideal simulations and is
+//                      surprised by noise at runtime;
+//   * noise-trained  — the refit is performed on noisy readings, letting
+//                      OLS absorb the noise statistics.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/emergency.hpp"
+#include "core/ols_model.hpp"
+#include "core/pipeline.hpp"
+#include "core/sensor_noise.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vmap;
+  CliArgs args("robustness_noise — prediction/detection vs sensor noise");
+  benchutil::add_common_flags(args);
+  args.add_flag("sensors", "4", "sensors per core");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    const auto platform = benchutil::load_platform(args);
+    const auto& data = platform.data;
+    const double vth = platform.setup.data.emergency_threshold;
+
+    core::PipelineConfig config;
+    config.lambda = 6.0;
+    config.sensors_per_core =
+        static_cast<std::size_t>(args.get_int("sensors"));
+    const auto model = core::fit_placement(data, *platform.floorplan, config);
+    const auto& rows = model.sensor_rows();
+    const linalg::Matrix x_train = data.x_train.select_rows(rows);
+    const linalg::Matrix x_test = data.x_test.select_rows(rows);
+    const core::OlsModel clean_model(x_train, data.f_train);
+
+    struct Level {
+      const char* name;
+      core::SensorNoiseModel noise;
+    };
+    std::vector<Level> levels;
+    levels.push_back({"ideal", {}});
+    levels.push_back({"1 mV rms", {.gaussian_sigma = 1e-3}});
+    levels.push_back({"2 mV rms + 8-bit ADC",
+                      {.gaussian_sigma = 2e-3, .lsb = 1.0 / 256.0}});
+    levels.push_back({"5 mV rms + 3 mV offs",
+                      {.gaussian_sigma = 5e-3, .offset_sigma = 3e-3}});
+    levels.push_back(
+        {"10 mV rms", {.gaussian_sigma = 10e-3}});
+
+    std::printf("== robustness: %zu sensors, clean-trained vs "
+                "noise-trained ==\n",
+                rows.size());
+    TablePrinter table({"sensor noise", "clean rel err(%)", "clean TE",
+                        "retrained rel err(%)", "retrained TE"});
+    for (const auto& level : levels) {
+      const linalg::Matrix x_test_noisy =
+          core::apply_sensor_noise(x_test, level.noise, 101);
+
+      const linalg::Matrix pred_clean = clean_model.predict(x_test_noisy);
+      const auto rates_clean =
+          core::evaluate_prediction_detector(data.f_test, pred_clean, vth);
+
+      const linalg::Matrix x_train_noisy =
+          core::apply_sensor_noise(x_train, level.noise, 202);
+      const core::OlsModel retrained(x_train_noisy, data.f_train);
+      const linalg::Matrix pred_retrained = retrained.predict(x_test_noisy);
+      const auto rates_retrained = core::evaluate_prediction_detector(
+          data.f_test, pred_retrained, vth);
+
+      table.add_row(
+          {level.name,
+           TablePrinter::fmt(
+               100.0 * core::relative_error(data.f_test, pred_clean), 3),
+           TablePrinter::fmt(rates_clean.total_error_rate(), 4),
+           TablePrinter::fmt(
+               100.0 * core::relative_error(data.f_test, pred_retrained), 3),
+           TablePrinter::fmt(rates_retrained.total_error_rate(), 4)});
+    }
+    table.print(std::cout);
+    std::printf("\n(noise-aware refits absorb sensor imperfections; the "
+                "methodology degrades gracefully until noise reaches the "
+                "droop scale)\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,137 @@
+// Adaptive monitoring: surviving sensor drift with online RLS.
+//
+// Silicon ages: sensor offsets drift after design-time calibration. This
+// example fits the placement/model offline, then runs an online phase
+// where every sensor slowly drifts. Two monitors watch the same readings:
+//   * a frozen monitor using the design-time OLS coefficients, and
+//   * an adaptive monitor that receives occasional ground-truth voltage
+//     samples (as a critical-path-monitor readout would provide) and folds
+//     them in with recursive least squares.
+// The frozen model's error grows with the drift; the adaptive one tracks.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "chip/floorplan.hpp"
+#include "core/dataset.hpp"
+#include "core/experiment.hpp"
+#include "core/ols_model.hpp"
+#include "core/pipeline.hpp"
+#include "core/rls.hpp"
+#include "grid/power_grid.hpp"
+#include "grid/transient.hpp"
+#include "util/cli.hpp"
+#include "workload/activity.hpp"
+#include "workload/power_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vmap;
+  CliArgs args("adaptive_monitor — RLS adaptation under sensor drift");
+  args.add_flag("steps", "4000", "online steps");
+  args.add_flag("drift-per-step", "2e-6",
+                "sensor offset drift per step (V); ~8 mV over the run");
+  args.add_flag("truth-every", "40",
+                "ground-truth (CPM) readout interval in steps");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+
+    const core::ExperimentSetup setup = core::small_setup();
+    const grid::PowerGrid grid(setup.grid);
+    const chip::Floorplan floorplan(grid, setup.floorplan);
+    auto suite = workload::parsec_like_suite();
+    suite.resize(3);
+
+    std::printf("offline: collecting + fitting...\n");
+    core::DataCollector collector(grid, floorplan, setup.data);
+    const core::Dataset data = collector.collect(suite);
+    core::PipelineConfig config;
+    config.sensors_per_core = 4;
+    config.lambda = 10.0;
+    const auto model = core::fit_placement(data, floorplan, config);
+    const auto& rows = model.sensor_rows();
+
+    // Build one chip-wide affine model for RLS (Q sensors -> K rows).
+    const core::OlsModel frozen(data.x_train.select_rows(rows),
+                                data.f_train);
+    core::RecursiveLeastSquares adaptive(frozen.alpha(), frozen.intercept(),
+                                         /*forgetting=*/0.995,
+                                         /*initial_covariance=*/1e-2);
+
+    // Online phase: unseen benchmark, drifting sensors.
+    const auto steps = static_cast<std::size_t>(args.get_int("steps"));
+    const double drift_rate = args.get_double("drift-per-step");
+    const auto truth_every =
+        static_cast<std::size_t>(args.get_int("truth-every"));
+
+    workload::PowerModel power(floorplan, data.current_scale);
+    workload::ActivityGenerator activity(floorplan, suite[1], Rng(77));
+    grid::TransientSim sim(grid, setup.data.dt);
+    Rng rng(123);
+
+    linalg::Vector currents(grid.node_count());
+    linalg::Vector drift(rows.size());
+    double frozen_sq = 0.0, adaptive_sq = 0.0;
+    std::size_t samples = 0, truth_updates = 0;
+
+    std::printf("online: %zu steps, drift %.1f uV/step, ground truth every "
+                "%zu steps\n\n",
+                steps, 1e6 * drift_rate, truth_every);
+    std::printf("%-10s %-22s %-22s\n", "step", "frozen rmse (mV)",
+                "adaptive rmse (mV)");
+
+    double window_frozen = 0.0, window_adaptive = 0.0;
+    std::size_t window_n = 0;
+    for (std::size_t s = 0; s < steps; ++s) {
+      power.to_node_currents(activity.step(), currents);
+      const linalg::Vector& v = sim.step(currents);
+
+      // Sensors drift in a fixed random direction each (aging).
+      for (std::size_t i = 0; i < rows.size(); ++i)
+        drift[i] += drift_rate * (rng.uniform() < 0.5 ? 0.6 : 1.4);
+      linalg::Vector readings(rows.size());
+      for (std::size_t i = 0; i < rows.size(); ++i)
+        readings[i] = v[data.candidate_nodes[rows[i]]] + drift[i];
+
+      linalg::Vector truth(data.critical_nodes.size());
+      for (std::size_t k = 0; k < truth.size(); ++k)
+        truth[k] = v[data.critical_nodes[k]];
+
+      const linalg::Vector f_frozen = frozen.predict(readings);
+      const linalg::Vector a_pred = adaptive.predict(readings);
+      for (std::size_t k = 0; k < truth.size(); ++k) {
+        const double ef = f_frozen[k] - truth[k];
+        const double ea = a_pred[k] - truth[k];
+        frozen_sq += ef * ef;
+        adaptive_sq += ea * ea;
+        window_frozen += ef * ef;
+        window_adaptive += ea * ea;
+      }
+      samples += truth.size();
+      window_n += truth.size();
+
+      if (s % truth_every == 0) {
+        adaptive.update(readings, truth);  // the CPM readout moment
+        ++truth_updates;
+      }
+      if ((s + 1) % (steps / 8) == 0) {
+        std::printf("%-10zu %-22.3f %-22.3f\n", s + 1,
+                    1e3 * std::sqrt(window_frozen / window_n),
+                    1e3 * std::sqrt(window_adaptive / window_n));
+        window_frozen = window_adaptive = 0.0;
+        window_n = 0;
+      }
+    }
+
+    const double frozen_rmse = std::sqrt(frozen_sq / samples);
+    const double adaptive_rmse = std::sqrt(adaptive_sq / samples);
+    std::printf("\noverall rmse: frozen %.3f mV, adaptive %.3f mV "
+                "(%.1fx better) after %zu RLS updates\n",
+                1e3 * frozen_rmse, 1e3 * adaptive_rmse,
+                frozen_rmse / adaptive_rmse, truth_updates);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,96 @@
+// Design-space exploration: the designer workflow from the end of the
+// paper's §3.1 — "use the parameter λ to explore the tradeoff between the
+// chip design cost and the voltage prediction performance".
+//
+// Sweeps λ over a wide range, reports the (sensor count, prediction error,
+// detection error) frontier, and recommends the cheapest placement that
+// meets an accuracy target supplied on the command line.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "chip/floorplan.hpp"
+#include "core/dataset.hpp"
+#include "core/emergency.hpp"
+#include "core/experiment.hpp"
+#include "core/ols_model.hpp"
+#include "core/pipeline.hpp"
+#include "grid/power_grid.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/benchmark_suite.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vmap;
+  CliArgs args(
+      "design_space_exploration — sweep the lambda knob and pick the "
+      "cheapest placement meeting an error target");
+  args.add_flag("target-error", "0.5",
+                "target relative prediction error in percent");
+  args.add_flag("benchmarks", "4", "number of benchmarks to simulate (1-19)");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    const double target_pct = args.get_double("target-error");
+
+    const core::ExperimentSetup setup = core::small_setup();
+    const grid::PowerGrid grid(setup.grid);
+    const chip::Floorplan floorplan(grid, setup.floorplan);
+    auto suite = workload::parsec_like_suite();
+    suite.resize(std::min<std::size_t>(
+        suite.size(),
+        std::max<std::int64_t>(1, args.get_int("benchmarks"))));
+
+    std::printf("collecting data from %zu benchmarks...\n", suite.size());
+    core::DataCollector collector(grid, floorplan, setup.data);
+    const core::Dataset data = collector.collect(suite);
+    const double vth = setup.data.emergency_threshold;
+
+    std::printf("\n== cost/accuracy frontier ==\n");
+    TablePrinter table({"lambda", "#sensors", "rel error(%)", "det TE",
+                        "meets target"});
+    struct Point {
+      double lambda;
+      std::size_t sensors;
+      double rel_pct;
+    };
+    std::vector<Point> frontier;
+    for (double lambda : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+      core::PipelineConfig config;
+      config.lambda = lambda;
+      const auto model = core::fit_placement(data, floorplan, config);
+      const auto f_pred = model.predict(data.x_test);
+      const double rel_pct =
+          100.0 * core::relative_error(data.f_test, f_pred);
+      const auto rates =
+          core::evaluate_prediction_detector(data.f_test, f_pred, vth);
+      frontier.push_back({lambda, model.sensor_rows().size(), rel_pct});
+      table.add_row({TablePrinter::fmt(lambda, 1),
+                     TablePrinter::fmt(model.sensor_rows().size()),
+                     TablePrinter::fmt(rel_pct, 3),
+                     TablePrinter::fmt(rates.total_error_rate(), 4),
+                     rel_pct <= target_pct ? "yes" : "no"});
+    }
+    table.print(std::cout);
+
+    // Cheapest placement meeting the target.
+    const Point* best = nullptr;
+    for (const auto& p : frontier) {
+      if (p.rel_pct > target_pct) continue;
+      if (!best || p.sensors < best->sensors) best = &p;
+    }
+    if (best) {
+      std::printf("\nrecommendation: lambda = %.1f -> %zu sensors meet the "
+                  "%.2f%% target (achieved %.3f%%)\n",
+                  best->lambda, best->sensors, target_pct, best->rel_pct);
+    } else {
+      std::printf("\nno swept lambda met the %.2f%% target; largest budget "
+                  "reached %.3f%% — extend the sweep or relax the target\n",
+                  target_pct, frontier.back().rel_pct);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

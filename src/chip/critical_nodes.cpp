@@ -1,0 +1,64 @@
+#include "chip/critical_nodes.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace vmap::chip {
+
+std::vector<std::size_t> select_critical_nodes(
+    const Floorplan& floorplan, const linalg::Vector& min_voltage_per_node) {
+  VMAP_REQUIRE(min_voltage_per_node.size() == floorplan.grid().node_count(),
+               "per-node minimum voltage vector size mismatch");
+  std::vector<std::size_t> critical;
+  critical.reserve(floorplan.block_count());
+  for (const auto& block : floorplan.blocks()) {
+    VMAP_ASSERT(!block.nodes.empty(), "block with no nodes");
+    std::size_t best = block.nodes.front();
+    for (std::size_t node : block.nodes) {
+      if (min_voltage_per_node[node] < min_voltage_per_node[best])
+        best = node;
+    }
+    critical.push_back(best);
+  }
+  return critical;
+}
+
+CriticalSet select_critical_nodes_n(
+    const Floorplan& floorplan, const linalg::Vector& min_voltage_per_node,
+    std::size_t per_block) {
+  VMAP_REQUIRE(min_voltage_per_node.size() == floorplan.grid().node_count(),
+               "per-node minimum voltage vector size mismatch");
+  VMAP_REQUIRE(per_block >= 1, "need at least one node per block");
+  CriticalSet set;
+  std::vector<std::size_t> sorted;
+  for (const auto& block : floorplan.blocks()) {
+    sorted = block.nodes;
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (min_voltage_per_node[a] != min_voltage_per_node[b])
+                  return min_voltage_per_node[a] < min_voltage_per_node[b];
+                return a < b;
+              });
+    const std::size_t take = std::min(per_block, sorted.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      set.nodes.push_back(sorted[i]);
+      set.blocks.push_back(block.id);
+    }
+  }
+  return set;
+}
+
+std::vector<std::size_t> center_nodes(const Floorplan& floorplan) {
+  std::vector<std::size_t> centers;
+  centers.reserve(floorplan.block_count());
+  const auto& grid = floorplan.grid();
+  for (const auto& block : floorplan.blocks()) {
+    const std::size_t cx = (block.x0 + block.x1 - 1) / 2;
+    const std::size_t cy = (block.y0 + block.y1 - 1) / 2;
+    centers.push_back(grid.node_id(cx, cy));
+  }
+  return centers;
+}
+
+}  // namespace vmap::chip

@@ -1,0 +1,39 @@
+#pragma once
+// Noise-critical node selection.
+//
+// The paper picks, inside each function block, the node with the worst
+// (lowest) supply voltage observed over a calibration simulation period —
+// one representative node per block, forming the f vector of Eq. (2).
+
+#include <cstddef>
+#include <vector>
+
+#include "chip/floorplan.hpp"
+#include "linalg/vector.hpp"
+
+namespace vmap::chip {
+
+/// One critical node per block: the block node with the lowest entry in
+/// `min_voltage_per_node` (a full-grid vector of per-node minimum voltages
+/// from a calibration transient run). Ties resolve to the lowest node id.
+/// Result is indexed by block id.
+std::vector<std::size_t> select_critical_nodes(
+    const Floorplan& floorplan, const linalg::Vector& min_voltage_per_node);
+
+/// Generalization the paper mentions in §2.1 ("easy ... to handle the case
+/// with more representative nodes per block"): the `per_block` worst-noise
+/// nodes of every block (fewer if the block is smaller). Returns the node
+/// list together with the owning block id per entry, ordered by block then
+/// by severity.
+struct CriticalSet {
+  std::vector<std::size_t> nodes;   ///< grid node ids
+  std::vector<std::size_t> blocks;  ///< owning block id per node
+};
+CriticalSet select_critical_nodes_n(const Floorplan& floorplan,
+                                    const linalg::Vector& min_voltage_per_node,
+                                    std::size_t per_block);
+
+/// Geometric fallback (no calibration run): each block's center node.
+std::vector<std::size_t> center_nodes(const Floorplan& floorplan);
+
+}  // namespace vmap::chip

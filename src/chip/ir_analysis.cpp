@@ -1,0 +1,62 @@
+#include "chip/ir_analysis.hpp"
+
+#include "sparse/skyline_cholesky.hpp"
+#include "util/assert.hpp"
+
+namespace vmap::chip {
+
+IrDropAnalysis::IrDropAnalysis(const grid::PowerGrid& grid,
+                               const chip::Floorplan& floorplan)
+    : sensitivity_(floorplan.block_count(), grid.node_count()) {
+  const sparse::SkylineCholesky factor(grid.conductance());
+  linalg::Vector unit_load(grid.node_count());
+  for (const auto& block : floorplan.blocks()) {
+    // 1 A drawn uniformly over the block's nodes; the droop field is the
+    // solve of G d = i (the VDD offset cancels in the droop).
+    unit_load.fill(0.0);
+    const double share = 1.0 / static_cast<double>(block.nodes.size());
+    for (std::size_t node : block.nodes) unit_load[node] = share;
+    const linalg::Vector droop = factor.solve(unit_load);
+    for (std::size_t node = 0; node < droop.size(); ++node) {
+      VMAP_ASSERT(droop[node] > -1e-12,
+                  "transfer resistances must be non-negative");
+      sensitivity_(block.id, node) = droop[node] < 0.0 ? 0.0 : droop[node];
+    }
+  }
+}
+
+double IrDropAnalysis::sensitivity(std::size_t block,
+                                   std::size_t node) const {
+  VMAP_REQUIRE(block < blocks() && node < nodes(),
+               "sensitivity index out of range");
+  return sensitivity_(block, node);
+}
+
+linalg::Vector IrDropAnalysis::worst_case_droop(
+    const linalg::Vector& max_block_current) const {
+  VMAP_REQUIRE(max_block_current.size() == blocks(),
+               "per-block current bound size mismatch");
+  for (std::size_t b = 0; b < blocks(); ++b)
+    VMAP_REQUIRE(max_block_current[b] >= 0.0,
+                 "current bounds must be non-negative");
+  return linalg::matvec_t(sensitivity_, max_block_current);
+}
+
+std::size_t IrDropAnalysis::dominant_block(
+    std::size_t node, const linalg::Vector& max_block_current) const {
+  VMAP_REQUIRE(node < nodes(), "node out of range");
+  VMAP_REQUIRE(max_block_current.size() == blocks(),
+               "per-block current bound size mismatch");
+  std::size_t best = 0;
+  double best_contribution = -1.0;
+  for (std::size_t b = 0; b < blocks(); ++b) {
+    const double contribution = sensitivity_(b, node) * max_block_current[b];
+    if (contribution > best_contribution) {
+      best_contribution = contribution;
+      best = b;
+    }
+  }
+  return best;
+}
+
+}  // namespace vmap::chip

@@ -1,0 +1,54 @@
+#pragma once
+// Vectorless worst-case IR-drop analysis.
+//
+// Classic power-grid signoff question: without knowing the workload, how
+// deep can any node's DC droop get if every block's current stays within
+// its budget? For a resistive grid the node voltage is linear in the block
+// currents with non-negative droop sensitivities (the network's transfer
+// resistances), so the worst case for every node is simply all blocks at
+// their maximum current — one bound obtainable from K linear solves (one
+// per block, sharing a single factorization), or equivalently one solve of
+// the all-max load. Keeping the per-block sensitivities around also
+// answers "which block hurts this node the most", which the placement
+// tooling uses for diagnostics.
+
+#include <cstddef>
+#include <vector>
+
+#include "chip/floorplan.hpp"
+#include "grid/power_grid.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace vmap::chip {
+
+/// Per-block worst-case DC droop analysis.
+class IrDropAnalysis {
+ public:
+  /// Factorizes the grid once and computes, for every block, the droop
+  /// (volts per ampere of block current) it induces at every node.
+  /// Cost: one sparse factorization + one solve per block.
+  IrDropAnalysis(const grid::PowerGrid& grid, const chip::Floorplan& floorplan);
+
+  std::size_t blocks() const { return sensitivity_.rows(); }
+  std::size_t nodes() const { return sensitivity_.cols(); }
+
+  /// Droop sensitivity of `node` to 1 A drawn (uniformly) by `block`.
+  double sensitivity(std::size_t block, std::size_t node) const;
+
+  /// Worst-case droop at every node when block b draws up to
+  /// `max_block_current[b]` amps: superposition of all blocks at max
+  /// (valid because all sensitivities are non-negative).
+  linalg::Vector worst_case_droop(
+      const linalg::Vector& max_block_current) const;
+
+  /// The block contributing the most droop at `node` under the given
+  /// current bounds.
+  std::size_t dominant_block(std::size_t node,
+                             const linalg::Vector& max_block_current) const;
+
+ private:
+  linalg::Matrix sensitivity_;  // blocks x nodes, volts per ampere
+};
+
+}  // namespace vmap::chip

@@ -1,0 +1,88 @@
+#include "core/correlation_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/stats.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace vmap::core {
+
+CorrelationProfile correlation_vs_distance(const Dataset& data,
+                                           const grid::PowerGrid& grid,
+                                           std::size_t bins,
+                                           std::size_t max_pairs) {
+  VMAP_REQUIRE(bins >= 2, "need at least two distance bins");
+  VMAP_REQUIRE(max_pairs >= bins, "need at least one pair per bin");
+  const std::size_t m = data.num_candidates();
+  VMAP_REQUIRE(m >= 2, "need at least two candidates");
+
+  // Maximum possible distance on the die fixes the bin edges.
+  const auto& gc = grid.config();
+  const double max_distance =
+      std::hypot(static_cast<double>(gc.nx) * gc.pitch_um,
+                 static_cast<double>(gc.ny) * gc.pitch_um);
+
+  CorrelationProfile profile;
+  profile.bin_edges_um.resize(bins);
+  for (std::size_t b = 0; b < bins; ++b)
+    profile.bin_edges_um[b] =
+        max_distance * static_cast<double>(b + 1) / static_cast<double>(bins);
+  profile.mean_correlation.assign(bins, 0.0);
+  profile.min_correlation.assign(bins,
+                                 std::numeric_limits<double>::infinity());
+  profile.pair_count.assign(bins, 0);
+
+  Rng rng(0xC0881A7E);
+  for (std::size_t sample = 0; sample < max_pairs; ++sample) {
+    const std::size_t i = static_cast<std::size_t>(rng.uniform_index(m));
+    std::size_t j = static_cast<std::size_t>(rng.uniform_index(m - 1));
+    if (j >= i) ++j;
+    const double d = grid.distance_um(data.candidate_nodes[i],
+                                      data.candidate_nodes[j]);
+    std::size_t bin = 0;
+    while (bin + 1 < bins && d > profile.bin_edges_um[bin]) ++bin;
+
+    const double corr =
+        linalg::pearson(data.x_train.row(i), data.x_train.row(j));
+    profile.mean_correlation[bin] += corr;
+    profile.min_correlation[bin] = std::min(profile.min_correlation[bin], corr);
+    ++profile.pair_count[bin];
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (profile.pair_count[b] > 0) {
+      profile.mean_correlation[b] /=
+          static_cast<double>(profile.pair_count[b]);
+    } else {
+      profile.min_correlation[b] = 0.0;
+    }
+  }
+  return profile;
+}
+
+std::vector<BestCandidate> best_candidate_per_critical(
+    const Dataset& data, const grid::PowerGrid& grid) {
+  std::vector<BestCandidate> result;
+  result.reserve(data.num_blocks());
+  for (std::size_t k = 0; k < data.num_blocks(); ++k) {
+    const linalg::Vector f_row = data.f_train.row(k);
+    BestCandidate best;
+    best.critical_row = k;
+    best.correlation = -2.0;
+    for (std::size_t i = 0; i < data.num_candidates(); ++i) {
+      const double corr = linalg::pearson(f_row, data.x_train.row(i));
+      if (corr > best.correlation) {
+        best.correlation = corr;
+        best.candidate_row = i;
+      }
+    }
+    best.distance_um = grid.distance_um(
+        data.critical_nodes[k], data.candidate_nodes[best.candidate_row]);
+    result.push_back(best);
+  }
+  return result;
+}
+
+}  // namespace vmap::core

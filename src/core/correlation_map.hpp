@@ -1,0 +1,49 @@
+#pragma once
+// Spatial correlation analysis — the paper's premise, quantified.
+//
+// The methodology rests on one physical claim (§1, citing [13]): "the
+// noise in the local area of a power grid is highly correlated". This
+// module measures that claim on collected data: the Pearson correlation of
+// candidate-pair voltages binned by their physical distance, plus the
+// correlation between each critical node and its best candidate. The
+// premise bench prints the resulting decay profile; placement quality is a
+// direct consequence of how slowly it decays.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "grid/power_grid.hpp"
+
+namespace vmap::core {
+
+/// Correlation-vs-distance profile.
+struct CorrelationProfile {
+  /// Bin upper edges (µm); bin i covers (edges[i-1], edges[i]].
+  std::vector<double> bin_edges_um;
+  std::vector<double> mean_correlation;  ///< per bin
+  std::vector<double> min_correlation;   ///< per bin
+  std::vector<std::size_t> pair_count;   ///< pairs sampled per bin
+};
+
+/// Bins sampled candidate pairs by distance and reports their voltage
+/// correlation over the training maps. `max_pairs` bounds the cost
+/// (pairs are subsampled deterministically).
+CorrelationProfile correlation_vs_distance(const Dataset& data,
+                                           const grid::PowerGrid& grid,
+                                           std::size_t bins = 12,
+                                           std::size_t max_pairs = 20000);
+
+/// For every critical node: the highest correlation any candidate achieves
+/// with it, and that candidate's distance — "is there always a good sensor
+/// spot nearby?".
+struct BestCandidate {
+  std::size_t critical_row = 0;
+  std::size_t candidate_row = 0;
+  double correlation = 0.0;
+  double distance_um = 0.0;
+};
+std::vector<BestCandidate> best_candidate_per_critical(
+    const Dataset& data, const grid::PowerGrid& grid);
+
+}  // namespace vmap::core

@@ -1,0 +1,489 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "chip/critical_nodes.hpp"
+#include "grid/recorder.hpp"
+#include "grid/transient.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+#include "workload/activity.hpp"
+#include "workload/power_model.hpp"
+
+namespace vmap::core {
+
+linalg::Matrix slice_cols(const linalg::Matrix& m, std::size_t begin,
+                          std::size_t end) {
+  VMAP_REQUIRE(begin <= end && end <= m.cols(), "column slice out of range");
+  linalg::Matrix out(m.rows(), end - begin);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double* src = m.row_data(r) + begin;
+    double* dst = out.row_data(r);
+    for (std::size_t c = 0; c < end - begin; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+linalg::Matrix Dataset::x_train_for(std::size_t bench) const {
+  VMAP_REQUIRE(bench < benchmarks.size(), "benchmark index out of range");
+  return slice_cols(x_train, benchmarks[bench].train_begin,
+                    benchmarks[bench].train_end);
+}
+linalg::Matrix Dataset::f_train_for(std::size_t bench) const {
+  VMAP_REQUIRE(bench < benchmarks.size(), "benchmark index out of range");
+  return slice_cols(f_train, benchmarks[bench].train_begin,
+                    benchmarks[bench].train_end);
+}
+linalg::Matrix Dataset::x_test_for(std::size_t bench) const {
+  VMAP_REQUIRE(bench < benchmarks.size(), "benchmark index out of range");
+  return slice_cols(x_test, benchmarks[bench].test_begin,
+                    benchmarks[bench].test_end);
+}
+linalg::Matrix Dataset::f_test_for(std::size_t bench) const {
+  VMAP_REQUIRE(bench < benchmarks.size(), "benchmark index out of range");
+  return slice_cols(f_test, benchmarks[bench].test_begin,
+                    benchmarks[bench].test_end);
+}
+
+namespace {
+/// Core slot owning a grid node (nodes are partitioned into slot
+/// rectangles, margins included).
+std::size_t core_of_node(const chip::Floorplan& floorplan, std::size_t node) {
+  const auto& gc = floorplan.grid().config();
+  const auto& fc = floorplan.config();
+  const auto [x, y] = floorplan.grid().node_xy(node);
+  const std::size_t cx = std::min(x / (gc.nx / fc.cores_x), fc.cores_x - 1);
+  const std::size_t cy = std::min(y / (gc.ny / fc.cores_y), fc.cores_y - 1);
+  return cy * fc.cores_x + cx;
+}
+}  // namespace
+
+std::vector<std::size_t> Dataset::candidate_rows_for_core(
+    const chip::Floorplan& floorplan, std::size_t core) const {
+  VMAP_REQUIRE(core < floorplan.core_count(), "core index out of range");
+  std::vector<std::size_t> rows;
+  for (std::size_t row = 0; row < candidate_nodes.size(); ++row)
+    if (core_of_node(floorplan, candidate_nodes[row]) == core)
+      rows.push_back(row);
+  return rows;
+}
+
+std::vector<std::size_t> Dataset::critical_rows_for_core(
+    const chip::Floorplan& floorplan, std::size_t core) const {
+  VMAP_REQUIRE(core < floorplan.core_count(), "core index out of range");
+  VMAP_REQUIRE(critical_block.size() == critical_nodes.size(),
+               "critical_block mapping not populated");
+  std::vector<std::size_t> rows;
+  for (std::size_t row = 0; row < critical_block.size(); ++row)
+    if (floorplan.block(critical_block[row]).core == core)
+      rows.push_back(row);
+  return rows;
+}
+
+std::uint64_t platform_hash(const grid::GridConfig& g,
+                            const chip::FloorplanConfig& f) {
+  // FNV-1a over every numeric field of both configs.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix_bytes = [&h](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= bytes[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  auto mix_u64 = [&](std::uint64_t v) { mix_bytes(&v, sizeof(v)); };
+  auto mix_f64 = [&](double v) { mix_bytes(&v, sizeof(v)); };
+  mix_u64(g.nx);
+  mix_u64(g.ny);
+  mix_f64(g.pitch_um);
+  mix_f64(g.segment_resistance);
+  mix_f64(g.node_capacitance);
+  mix_f64(g.pad_resistance);
+  mix_f64(g.pad_inductance);
+  mix_f64(g.vdd);
+  mix_u64(g.pad_spacing);
+  mix_u64(g.two_layer ? 1 : 0);
+  mix_u64(g.top_pitch);
+  mix_f64(g.top_segment_resistance);
+  mix_f64(g.via_resistance);
+  mix_f64(g.top_node_capacitance);
+  mix_u64(f.cores_x);
+  mix_u64(f.cores_y);
+  mix_u64(f.core_margin);
+  return h;
+}
+
+DataCollector::DataCollector(const grid::PowerGrid& grid,
+                             const chip::Floorplan& floorplan,
+                             DataConfig config)
+    : grid_(grid), floorplan_(floorplan), config_(config) {
+  VMAP_REQUIRE(config_.dt > 0.0, "dt must be positive");
+  VMAP_REQUIRE(config_.map_stride >= 1, "map stride must be >= 1");
+  VMAP_REQUIRE(config_.candidate_stride >= 1,
+               "candidate stride must be >= 1");
+  VMAP_REQUIRE(config_.train_maps_per_benchmark >= 2,
+               "need at least two training maps per benchmark");
+}
+
+Dataset DataCollector::collect(
+    const std::vector<workload::BenchmarkProfile>& suite) const {
+  VMAP_REQUIRE(!suite.empty(), "benchmark suite is empty");
+  Timer total_timer;
+  Dataset data;
+  data.config = config_;
+  data.workload_hash = workload::suite_hash(suite);
+  data.platform = platform_hash(grid_.config(), floorplan_.config());
+
+  // Candidate nodes: a lattice subsample (stride on the tile coordinates
+  // keeps spatial coverage uniform) over the BA — and over the FA too when
+  // include_fa_candidates is set (§3.2's extension).
+  for (std::size_t node = 0; node < grid_.device_node_count(); ++node) {
+    if (floorplan_.is_fa_node(node) && !config_.include_fa_candidates)
+      continue;
+    const auto [x, y] = grid_.node_xy(node);
+    if (x % config_.candidate_stride == 0 && y % config_.candidate_stride == 0)
+      data.candidate_nodes.push_back(node);
+  }
+  VMAP_REQUIRE(!data.candidate_nodes.empty(),
+               "candidate stride removed every candidate node");
+
+  grid::TransientSim sim(grid_, config_.dt);
+
+  // --- Calibration pass (unit current scale). The grid is linear, so the
+  // per-node droop ranking and the worst-droop magnitude from a unit-scale
+  // run determine both the critical nodes and the absolute scale.
+  {
+    workload::PowerModel unit_model(floorplan_, /*current_scale=*/1.0);
+    workload::ActivityGenerator generator(floorplan_, suite.front(),
+                                          Rng(config_.seed ^ 0xCA11B8A7E));
+    linalg::Vector currents(grid_.node_count());
+    linalg::Vector min_voltage(grid_.node_count(),
+                               std::numeric_limits<double>::infinity());
+    std::vector<double> droop_per_step;
+    droop_per_step.reserve(config_.calibration_steps);
+    for (std::size_t s = 0; s < config_.calibration_steps; ++s) {
+      unit_model.to_node_currents(generator.step(), currents);
+      const auto& v = sim.step(currents);
+      for (std::size_t i = 0; i < v.size(); ++i)
+        if (v[i] < min_voltage[i]) min_voltage[i] = v[i];
+      droop_per_step.push_back(grid_.config().vdd - v.min());
+    }
+    std::sort(droop_per_step.begin(), droop_per_step.end());
+    const double worst_droop = droop_per_step.back();
+    VMAP_REQUIRE(worst_droop > 0.0, "calibration produced no droop");
+
+    if (config_.target_emergency_rate > 0.0) {
+      // Scale so that target_emergency_rate of the calibration steps would
+      // cross the threshold: margin = scale * droop-quantile(1 - rate).
+      VMAP_REQUIRE(config_.target_emergency_rate < 1.0,
+                   "target emergency rate must be in (0, 1)");
+      const double margin =
+          grid_.config().vdd - config_.emergency_threshold;
+      VMAP_REQUIRE(margin > 0.0,
+                   "emergency threshold must be below VDD");
+      const double q = 1.0 - config_.target_emergency_rate;
+      const auto index = static_cast<std::size_t>(
+          q * static_cast<double>(droop_per_step.size() - 1));
+      // Guard: an almost-flat calibration trace would blow the scale up.
+      const double quantile_droop =
+          std::max(droop_per_step[index], 0.05 * worst_droop);
+      data.current_scale = margin / quantile_droop;
+    } else {
+      data.current_scale = config_.target_droop / worst_droop;
+    }
+    const chip::CriticalSet critical = chip::select_critical_nodes_n(
+        floorplan_, min_voltage, config_.critical_nodes_per_block);
+    data.critical_nodes = critical.nodes;
+    data.critical_block = critical.blocks;
+    VMAP_LOG(kInfo) << "calibration: scale " << data.current_scale
+                    << ", worst unit droop " << worst_droop << " V";
+  }
+
+  const std::size_t n_benchmarks = suite.size();
+  const std::size_t train_total =
+      n_benchmarks * config_.train_maps_per_benchmark;
+  const std::size_t test_total =
+      n_benchmarks * config_.test_maps_per_benchmark;
+  const std::size_t m_count = data.candidate_nodes.size();
+  const std::size_t k_count = data.critical_nodes.size();
+
+  data.x_train = linalg::Matrix(m_count, train_total);
+  data.f_train = linalg::Matrix(k_count, train_total);
+  data.x_test = linalg::Matrix(m_count, test_total);
+  data.f_test = linalg::Matrix(k_count, test_total);
+
+  // Combined watch list: candidates first, criticals after.
+  std::vector<std::size_t> watch = data.candidate_nodes;
+  watch.insert(watch.end(), data.critical_nodes.begin(),
+               data.critical_nodes.end());
+
+  workload::PowerModel model(floorplan_, data.current_scale);
+  linalg::Vector currents(grid_.node_count());
+
+  for (std::size_t b = 0; b < n_benchmarks; ++b) {
+    Timer bench_timer;
+    const auto& profile = suite[b];
+    workload::ActivityGenerator generator(
+        floorplan_, profile, Rng(config_.seed + 0x9E3779B9 * (b + 1)));
+    sim.reset();
+
+    for (std::size_t s = 0; s < config_.warmup_steps; ++s) {
+      model.to_node_currents(generator.step(), currents);
+      sim.step(currents);
+    }
+
+    const std::size_t maps_needed = config_.train_maps_per_benchmark +
+                                    config_.test_maps_per_benchmark;
+    grid::MapSampler sampler(watch, config_.map_stride);
+    while (sampler.maps() < maps_needed) {
+      model.to_node_currents(generator.step(), currents);
+      sampler.observe(sim.step(currents));
+    }
+    const linalg::Matrix maps = sampler.as_matrix();
+
+    BenchmarkSlice slice;
+    slice.name = profile.name;
+    slice.train_begin = b * config_.train_maps_per_benchmark;
+    slice.train_end = slice.train_begin + config_.train_maps_per_benchmark;
+    slice.test_begin = b * config_.test_maps_per_benchmark;
+    slice.test_end = slice.test_begin + config_.test_maps_per_benchmark;
+
+    // Time-split: earlier maps train, later maps test (no leakage).
+    for (std::size_t c = 0; c < config_.train_maps_per_benchmark; ++c) {
+      const std::size_t dst = slice.train_begin + c;
+      for (std::size_t r = 0; r < m_count; ++r)
+        data.x_train(r, dst) = maps(r, c);
+      for (std::size_t r = 0; r < k_count; ++r)
+        data.f_train(r, dst) = maps(m_count + r, c);
+    }
+    for (std::size_t c = 0; c < config_.test_maps_per_benchmark; ++c) {
+      const std::size_t src = config_.train_maps_per_benchmark + c;
+      const std::size_t dst = slice.test_begin + c;
+      for (std::size_t r = 0; r < m_count; ++r)
+        data.x_test(r, dst) = maps(r, src);
+      for (std::size_t r = 0; r < k_count; ++r)
+        data.f_test(r, dst) = maps(m_count + r, src);
+    }
+    data.benchmarks.push_back(std::move(slice));
+    VMAP_LOG(kInfo) << profile.name << ": " << maps_needed << " maps in "
+                    << bench_timer.seconds() << " s";
+  }
+
+  VMAP_LOG(kInfo) << "dataset collected: M=" << m_count << " K=" << k_count
+                  << " N_train=" << train_total << " N_test=" << test_total
+                  << " in " << total_timer.seconds() << " s";
+  return data;
+}
+
+// --- Serialization -------------------------------------------------------
+
+namespace {
+constexpr std::uint64_t kMagic = 0x564D415044534554ULL;  // "VMAPDSET"
+constexpr std::uint32_t kVersion = 6;
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint64_t read_u64(std::ifstream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+void write_f64(std::ofstream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+double read_f64(std::ifstream& in) {
+  double v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+void write_string(std::ofstream& out, const std::string& s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+std::string read_string(std::ifstream& in) {
+  const std::uint64_t n = read_u64(in);
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  return s;
+}
+void write_matrix(std::ofstream& out, const linalg::Matrix& m) {
+  write_u64(out, m.rows());
+  write_u64(out, m.cols());
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.rows() * m.cols() *
+                                         sizeof(double)));
+}
+linalg::Matrix read_matrix(std::ifstream& in) {
+  const std::uint64_t rows = read_u64(in);
+  const std::uint64_t cols = read_u64(in);
+  linalg::Matrix m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(rows * cols * sizeof(double)));
+  return m;
+}
+void write_indices(std::ofstream& out, const std::vector<std::size_t>& v) {
+  write_u64(out, v.size());
+  for (std::size_t x : v) write_u64(out, x);
+}
+std::vector<std::size_t> read_indices(std::ifstream& in) {
+  const std::uint64_t n = read_u64(in);
+  std::vector<std::size_t> v(n);
+  for (auto& x : v) x = read_u64(in);
+  return v;
+}
+
+void write_config(std::ofstream& out, const DataConfig& c) {
+  write_f64(out, c.dt);
+  write_u64(out, c.warmup_steps);
+  write_u64(out, c.train_maps_per_benchmark);
+  write_u64(out, c.test_maps_per_benchmark);
+  write_u64(out, c.map_stride);
+  write_u64(out, c.candidate_stride);
+  write_u64(out, c.critical_nodes_per_block);
+  write_u64(out, c.include_fa_candidates ? 1 : 0);
+  write_f64(out, c.target_emergency_rate);
+  write_f64(out, c.target_droop);
+  write_f64(out, c.emergency_threshold);
+  write_u64(out, c.calibration_steps);
+  write_u64(out, c.seed);
+}
+DataConfig read_config(std::ifstream& in) {
+  DataConfig c;
+  c.dt = read_f64(in);
+  c.warmup_steps = read_u64(in);
+  c.train_maps_per_benchmark = read_u64(in);
+  c.test_maps_per_benchmark = read_u64(in);
+  c.map_stride = read_u64(in);
+  c.candidate_stride = read_u64(in);
+  c.critical_nodes_per_block = read_u64(in);
+  c.include_fa_candidates = read_u64(in) != 0;
+  c.target_emergency_rate = read_f64(in);
+  c.target_droop = read_f64(in);
+  c.emergency_threshold = read_f64(in);
+  c.calibration_steps = read_u64(in);
+  c.seed = read_u64(in);
+  return c;
+}
+
+bool config_equal(const DataConfig& a, const DataConfig& b) {
+  return a.dt == b.dt && a.warmup_steps == b.warmup_steps &&
+         a.train_maps_per_benchmark == b.train_maps_per_benchmark &&
+         a.test_maps_per_benchmark == b.test_maps_per_benchmark &&
+         a.map_stride == b.map_stride &&
+         a.candidate_stride == b.candidate_stride &&
+         a.critical_nodes_per_block == b.critical_nodes_per_block &&
+         a.include_fa_candidates == b.include_fa_candidates &&
+         a.target_emergency_rate == b.target_emergency_rate &&
+         a.target_droop == b.target_droop &&
+         a.emergency_threshold == b.emergency_threshold &&
+         a.calibration_steps == b.calibration_steps && a.seed == b.seed;
+}
+}  // namespace
+
+void Dataset::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write dataset cache: " + path);
+  write_u64(out, kMagic);
+  write_u64(out, kVersion);
+  write_config(out, config);
+  write_u64(out, workload_hash);
+  write_u64(out, platform);
+  write_f64(out, current_scale);
+  write_indices(out, candidate_nodes);
+  write_indices(out, critical_nodes);
+  write_indices(out, critical_block);
+  write_matrix(out, x_train);
+  write_matrix(out, f_train);
+  write_matrix(out, x_test);
+  write_matrix(out, f_test);
+  write_u64(out, benchmarks.size());
+  for (const auto& b : benchmarks) {
+    write_string(out, b.name);
+    write_u64(out, b.train_begin);
+    write_u64(out, b.train_end);
+    write_u64(out, b.test_begin);
+    write_u64(out, b.test_end);
+  }
+  if (!out) throw std::runtime_error("dataset cache write failed: " + path);
+}
+
+Dataset Dataset::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read dataset cache: " + path);
+  if (read_u64(in) != kMagic)
+    throw std::runtime_error("bad dataset cache magic: " + path);
+  if (read_u64(in) != kVersion)
+    throw std::runtime_error("dataset cache version mismatch: " + path);
+  Dataset d;
+  d.config = read_config(in);
+  d.workload_hash = read_u64(in);
+  d.platform = read_u64(in);
+  d.current_scale = read_f64(in);
+  d.candidate_nodes = read_indices(in);
+  d.critical_nodes = read_indices(in);
+  d.critical_block = read_indices(in);
+  d.x_train = read_matrix(in);
+  d.f_train = read_matrix(in);
+  d.x_test = read_matrix(in);
+  d.f_test = read_matrix(in);
+  const std::uint64_t nb = read_u64(in);
+  for (std::uint64_t i = 0; i < nb; ++i) {
+    BenchmarkSlice s;
+    s.name = read_string(in);
+    s.train_begin = read_u64(in);
+    s.train_end = read_u64(in);
+    s.test_begin = read_u64(in);
+    s.test_end = read_u64(in);
+    d.benchmarks.push_back(std::move(s));
+  }
+  if (!in) throw std::runtime_error("dataset cache truncated: " + path);
+  return d;
+}
+
+Dataset load_or_collect(const std::string& cache_path,
+                        const grid::PowerGrid& grid,
+                        const chip::Floorplan& floorplan,
+                        const DataConfig& config,
+                        const std::vector<workload::BenchmarkProfile>& suite) {
+  if (!cache_path.empty()) {
+    std::ifstream probe(cache_path, std::ios::binary);
+    if (probe) {
+      probe.close();
+      try {
+        Dataset d = Dataset::load(cache_path);
+        const bool shape_ok =
+            d.benchmarks.size() == suite.size() &&
+            !d.critical_nodes.empty() &&
+            d.critical_block.size() == d.critical_nodes.size() &&
+            (d.candidate_nodes.empty() ||
+             d.candidate_nodes.back() < grid.node_count());
+        if (shape_ok && config_equal(d.config, config) &&
+            d.workload_hash == workload::suite_hash(suite) &&
+            d.platform ==
+                platform_hash(grid.config(), floorplan.config())) {
+          VMAP_LOG(kInfo) << "loaded dataset cache " << cache_path;
+          return d;
+        }
+        VMAP_LOG(kWarn) << "dataset cache " << cache_path
+                        << " does not match the configuration; re-collecting";
+      } catch (const std::exception& e) {
+        VMAP_LOG(kWarn) << "dataset cache unreadable (" << e.what()
+                        << "); re-collecting";
+      }
+    }
+  }
+  DataCollector collector(grid, floorplan, config);
+  Dataset d = collector.collect(suite);
+  if (!cache_path.empty()) {
+    d.save(cache_path);
+    VMAP_LOG(kInfo) << "saved dataset cache " << cache_path;
+  }
+  return d;
+}
+
+}  // namespace vmap::core

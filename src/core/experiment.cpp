@@ -1,0 +1,61 @@
+#include "core/experiment.hpp"
+
+namespace vmap::core {
+
+ExperimentSetup default_setup() {
+  ExperimentSetup s;
+  s.grid.nx = 96;
+  s.grid.ny = 96;
+  s.grid.pitch_um = 120.0;
+  s.grid.segment_resistance = 0.25;
+  s.grid.node_capacitance = 80e-12;
+  s.grid.pad_resistance = 0.02;
+  s.grid.vdd = 1.0;
+  s.grid.pad_spacing = 12;
+
+  s.floorplan.cores_x = 4;
+  s.floorplan.cores_y = 2;
+  s.floorplan.core_margin = 2;
+
+  s.data.dt = 100e-12;
+  s.data.warmup_steps = 300;
+  s.data.train_maps_per_benchmark = 220;
+  s.data.test_maps_per_benchmark = 110;
+  s.data.map_stride = 3;
+  s.data.candidate_stride = 2;
+  s.data.target_droop = 0.26;
+  s.data.emergency_threshold = 0.85;
+  s.data.calibration_steps = 600;
+  s.data.seed = 20150607;
+  return s;
+}
+
+ExperimentSetup small_setup() {
+  ExperimentSetup s;
+  s.grid.nx = 32;
+  s.grid.ny = 16;
+  s.grid.pitch_um = 120.0;
+  s.grid.segment_resistance = 0.25;
+  s.grid.node_capacitance = 80e-12;
+  s.grid.pad_resistance = 0.02;
+  s.grid.vdd = 1.0;
+  s.grid.pad_spacing = 8;
+
+  s.floorplan.cores_x = 2;
+  s.floorplan.cores_y = 1;
+  s.floorplan.core_margin = 1;
+
+  s.data.dt = 100e-12;
+  s.data.warmup_steps = 60;
+  s.data.train_maps_per_benchmark = 60;
+  s.data.test_maps_per_benchmark = 30;
+  s.data.map_stride = 2;
+  s.data.candidate_stride = 1;
+  s.data.target_droop = 0.26;
+  s.data.emergency_threshold = 0.85;
+  s.data.calibration_steps = 150;
+  s.data.seed = 20150607;
+  return s;
+}
+
+}  // namespace vmap::core

@@ -1,0 +1,29 @@
+#pragma once
+// Canonical experiment setups shared by the benches, examples, and tests.
+//
+// default_setup() mirrors the paper's evaluation platform at simulator
+// scale: an 8-core die (4x2), 30 function blocks per core, a 96x96-node
+// power grid, VDD = 1.0 V, emergency threshold 0.85 V, and the 19-benchmark
+// suite. small_setup() is a 2-core miniature for fast tests.
+
+#include "chip/floorplan.hpp"
+#include "core/dataset.hpp"
+#include "grid/power_grid.hpp"
+
+namespace vmap::core {
+
+/// Bundle of configurations that define one experiment platform.
+struct ExperimentSetup {
+  grid::GridConfig grid;
+  chip::FloorplanConfig floorplan;
+  DataConfig data;
+};
+
+/// The paper-scale platform: 8 cores, 96x96 grid, 19 benchmarks' worth of
+/// training/test maps.
+ExperimentSetup default_setup();
+
+/// A miniature 2-core platform (32x16 grid) for unit/integration tests.
+ExperimentSetup small_setup();
+
+}  // namespace vmap::core

@@ -1,0 +1,49 @@
+#include "core/lambda_selection.hpp"
+
+#include <algorithm>
+
+#include "core/ols_model.hpp"
+#include "util/assert.hpp"
+
+namespace vmap::core {
+
+LambdaSelectionResult auto_select_lambda(const Dataset& data,
+                                         const chip::Floorplan& floorplan,
+                                         double target_relative_error,
+                                         std::vector<double> lambda_grid,
+                                         const PipelineConfig& base) {
+  VMAP_REQUIRE(target_relative_error > 0.0,
+               "error target must be positive");
+  VMAP_REQUIRE(!lambda_grid.empty(), "lambda grid is empty");
+  std::sort(lambda_grid.begin(), lambda_grid.end());
+  VMAP_REQUIRE(lambda_grid.front() > 0.0, "lambdas must be positive");
+
+  LambdaSelectionResult result;
+  bool have_best = false;
+  for (double lambda : lambda_grid) {
+    PipelineConfig config = base;
+    config.lambda = lambda;
+    const PlacementModel model = fit_placement(data, floorplan, config);
+    const linalg::Matrix f_pred = model.predict(data.x_test);
+
+    LambdaPathPoint point;
+    point.lambda = lambda;
+    point.sensors = model.sensor_rows().size();
+    point.relative_error = relative_error(data.f_test, f_pred);
+    result.path.push_back(point);
+
+    if (!have_best ||
+        point.relative_error < result.chosen.relative_error) {
+      result.chosen = point;
+      have_best = true;
+    }
+    if (point.relative_error <= target_relative_error) {
+      result.chosen = point;
+      result.met_target = true;
+      break;  // smallest λ (fewest sensors) meeting the target
+    }
+  }
+  return result;
+}
+
+}  // namespace vmap::core

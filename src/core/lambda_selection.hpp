@@ -1,0 +1,41 @@
+#pragma once
+// Automatic λ selection (paper §2.4's sweep, packaged as an API).
+//
+// The paper tunes λ by hand: "start from a small λ ... increase ... until
+// the prediction models are sufficiently accurate". auto_select_lambda runs
+// exactly that loop against a held-out error target and reports the whole
+// path, so a designer gets both the chosen placement and the cost/accuracy
+// frontier it was chosen from.
+
+#include <vector>
+
+#include "chip/floorplan.hpp"
+#include "core/dataset.hpp"
+#include "core/pipeline.hpp"
+
+namespace vmap::core {
+
+/// One evaluated point of the λ path.
+struct LambdaPathPoint {
+  double lambda = 0.0;
+  std::size_t sensors = 0;          ///< total selected sensors
+  double relative_error = 0.0;      ///< on the dataset's test split
+};
+
+struct LambdaSelectionResult {
+  bool met_target = false;
+  LambdaPathPoint chosen;           ///< first grid point meeting the target
+                                    ///< (or the most accurate one tried)
+  std::vector<LambdaPathPoint> path;  ///< every grid point evaluated
+};
+
+/// Walks `lambda_grid` in ascending order, fitting the full pipeline at
+/// each λ and evaluating on the test split; stops at the first λ whose
+/// aggregated relative prediction error is <= `target_relative_error`.
+/// `base` supplies all other pipeline settings (its lambda is overridden).
+LambdaSelectionResult auto_select_lambda(
+    const Dataset& data, const chip::Floorplan& floorplan,
+    double target_relative_error, std::vector<double> lambda_grid,
+    const PipelineConfig& base = {});
+
+}  // namespace vmap::core

@@ -1,0 +1,80 @@
+#include "core/normalizer.hpp"
+
+#include <cmath>
+
+#include "linalg/stats.hpp"
+#include "util/assert.hpp"
+
+namespace vmap::core {
+
+namespace {
+constexpr double kDegenerateStddev = 1e-12;
+}
+
+Normalizer::Normalizer(const linalg::Matrix& data)
+    : mean_(linalg::row_means(data)),
+      stddev_(linalg::row_stddevs(data)),
+      degenerate_(data.rows(), false) {
+  for (std::size_t r = 0; r < stddev_.size(); ++r) {
+    if (stddev_[r] < kDegenerateStddev) {
+      degenerate_[r] = true;
+      stddev_[r] = 1.0;  // keeps transforms well-defined; rows map to 0
+    }
+  }
+}
+
+bool Normalizer::is_degenerate(std::size_t row) const {
+  VMAP_REQUIRE(row < degenerate_.size(), "row index out of range");
+  return degenerate_[row];
+}
+
+linalg::Matrix Normalizer::normalize(const linalg::Matrix& data) const {
+  VMAP_REQUIRE(data.rows() == variables(), "variable count mismatch");
+  linalg::Matrix z(data.rows(), data.cols());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    if (degenerate_[r]) continue;  // stays zero
+    const double mu = mean_[r];
+    const double inv_sd = 1.0 / stddev_[r];
+    const double* src = data.row_data(r);
+    double* dst = z.row_data(r);
+    for (std::size_t c = 0; c < data.cols(); ++c)
+      dst[c] = (src[c] - mu) * inv_sd;
+  }
+  return z;
+}
+
+linalg::Vector Normalizer::normalize(const linalg::Vector& sample) const {
+  VMAP_REQUIRE(sample.size() == variables(), "variable count mismatch");
+  linalg::Vector z(sample.size());
+  for (std::size_t r = 0; r < sample.size(); ++r) {
+    if (degenerate_[r]) continue;
+    z[r] = (sample[r] - mean_[r]) / stddev_[r];
+  }
+  return z;
+}
+
+linalg::Matrix Normalizer::denormalize(const linalg::Matrix& data) const {
+  VMAP_REQUIRE(data.rows() == variables(), "variable count mismatch");
+  linalg::Matrix x(data.rows(), data.cols());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    const double mu = mean_[r];
+    const double sd = degenerate_[r] ? 0.0 : stddev_[r];
+    const double* src = data.row_data(r);
+    double* dst = x.row_data(r);
+    for (std::size_t c = 0; c < data.cols(); ++c)
+      dst[c] = src[c] * sd + mu;
+  }
+  return x;
+}
+
+linalg::Vector Normalizer::denormalize(const linalg::Vector& sample) const {
+  VMAP_REQUIRE(sample.size() == variables(), "variable count mismatch");
+  linalg::Vector x(sample.size());
+  for (std::size_t r = 0; r < sample.size(); ++r) {
+    const double sd = degenerate_[r] ? 0.0 : stddev_[r];
+    x[r] = sample[r] * sd + mean_[r];
+  }
+  return x;
+}
+
+}  // namespace vmap::core

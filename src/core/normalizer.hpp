@@ -1,0 +1,43 @@
+#pragma once
+// Zero-mean / unit-variance normalization (paper §2.2, Step 3).
+//
+// Group lasso requires the regressors and responses on a common scale; the
+// Normalizer learns per-variable mean and standard deviation from training
+// data (one variable per row, one sample per column) and applies / inverts
+// the transform. Zero-variance variables are mapped to constant zero and
+// flagged, so constant sensor candidates cannot poison the solver.
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace vmap::core {
+
+/// Per-row z-score transform learned from a data matrix.
+class Normalizer {
+ public:
+  /// Learns mean/stddev per row; `data` needs >= 2 columns.
+  explicit Normalizer(const linalg::Matrix& data);
+
+  std::size_t variables() const { return mean_.size(); }
+  const linalg::Vector& means() const { return mean_; }
+  const linalg::Vector& stddevs() const { return stddev_; }
+  /// True if the row had (numerically) zero variance in training data.
+  bool is_degenerate(std::size_t row) const;
+
+  /// z = (x - mean) / stddev, row-wise. Degenerate rows map to 0.
+  linalg::Matrix normalize(const linalg::Matrix& data) const;
+  linalg::Vector normalize(const linalg::Vector& sample) const;
+
+  /// x = z * stddev + mean, row-wise. Degenerate rows map back to the mean.
+  linalg::Matrix denormalize(const linalg::Matrix& data) const;
+  linalg::Vector denormalize(const linalg::Vector& sample) const;
+
+ private:
+  linalg::Vector mean_;
+  linalg::Vector stddev_;
+  std::vector<bool> degenerate_;
+};
+
+}  // namespace vmap::core

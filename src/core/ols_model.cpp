@@ -1,0 +1,110 @@
+#include "core/ols_model.hpp"
+
+#include <cmath>
+
+#include "linalg/qr.hpp"
+#include "util/assert.hpp"
+
+namespace vmap::core {
+
+OlsModel::OlsModel(const linalg::Matrix& x_selected, const linalg::Matrix& f) {
+  const std::size_t q = x_selected.rows();
+  const std::size_t n = x_selected.cols();
+  const std::size_t k = f.rows();
+  VMAP_REQUIRE(f.cols() == n, "X^S and F must share the sample axis");
+  VMAP_REQUIRE(n >= q + 1, "need at least Q+1 samples to fit Q sensors");
+
+  // Augmented design: rows are samples, columns are [sensors | 1].
+  linalg::Matrix design(n, q + 1);
+  for (std::size_t s = 0; s < n; ++s) {
+    double* row = design.row_data(s);
+    for (std::size_t j = 0; j < q; ++j) row[j] = x_selected(j, s);
+    row[q] = 1.0;
+  }
+  // Responses: one column per block, rows are samples.
+  linalg::Matrix targets = f.transposed();
+  linalg::QR qr(design);
+  linalg::Matrix coef = qr.solve(targets);  // (q+1) x k
+
+  alpha_ = linalg::Matrix(k, q);
+  intercept_ = linalg::Vector(k);
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    for (std::size_t j = 0; j < q; ++j) alpha_(kk, j) = coef(j, kk);
+    intercept_[kk] = coef(q, kk);
+  }
+
+  const linalg::Matrix fitted = predict(x_selected);
+  train_rmse_ = rmse(f, fitted);
+}
+
+linalg::Vector OlsModel::predict(const linalg::Vector& x_sensors) const {
+  VMAP_REQUIRE(x_sensors.size() == sensors(), "sensor reading size mismatch");
+  linalg::Vector out = linalg::matvec(alpha_, x_sensors);
+  out += intercept_;
+  return out;
+}
+
+linalg::Matrix OlsModel::predict(const linalg::Matrix& x_sensors) const {
+  VMAP_REQUIRE(x_sensors.rows() == sensors(), "sensor reading size mismatch");
+  linalg::Matrix out = linalg::matmul(alpha_, x_sensors);
+  for (std::size_t k = 0; k < out.rows(); ++k) {
+    double* row = out.row_data(k);
+    const double c = intercept_[k];
+    for (std::size_t s = 0; s < out.cols(); ++s) row[s] += c;
+  }
+  return out;
+}
+
+double relative_error(const linalg::Matrix& f_true,
+                      const linalg::Matrix& f_pred) {
+  VMAP_REQUIRE(f_true.rows() == f_pred.rows() &&
+                   f_true.cols() == f_pred.cols(),
+               "shape mismatch in relative_error");
+  VMAP_REQUIRE(!f_true.empty(), "empty matrices in relative_error");
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < f_true.rows(); ++k) {
+    const double* t = f_true.row_data(k);
+    const double* p = f_pred.row_data(k);
+    for (std::size_t s = 0; s < f_true.cols(); ++s) {
+      VMAP_REQUIRE(t[s] != 0.0, "true value is zero in relative_error");
+      acc += std::abs(p[s] - t[s]) / std::abs(t[s]);
+      ++count;
+    }
+  }
+  return acc / static_cast<double>(count);
+}
+
+double rmse(const linalg::Matrix& f_true, const linalg::Matrix& f_pred) {
+  VMAP_REQUIRE(f_true.rows() == f_pred.rows() &&
+                   f_true.cols() == f_pred.cols(),
+               "shape mismatch in rmse");
+  VMAP_REQUIRE(!f_true.empty(), "empty matrices in rmse");
+  double acc = 0.0;
+  for (std::size_t k = 0; k < f_true.rows(); ++k) {
+    const double* t = f_true.row_data(k);
+    const double* p = f_pred.row_data(k);
+    for (std::size_t s = 0; s < f_true.cols(); ++s) {
+      const double d = p[s] - t[s];
+      acc += d * d;
+    }
+  }
+  return std::sqrt(acc / static_cast<double>(f_true.rows() * f_true.cols()));
+}
+
+double max_abs_error(const linalg::Matrix& f_true,
+                     const linalg::Matrix& f_pred) {
+  VMAP_REQUIRE(f_true.rows() == f_pred.rows() &&
+                   f_true.cols() == f_pred.cols(),
+               "shape mismatch in max_abs_error");
+  double mx = 0.0;
+  for (std::size_t k = 0; k < f_true.rows(); ++k) {
+    const double* t = f_true.row_data(k);
+    const double* p = f_pred.row_data(k);
+    for (std::size_t s = 0; s < f_true.cols(); ++s)
+      mx = std::max(mx, std::abs(p[s] - t[s]));
+  }
+  return mx;
+}
+
+}  // namespace vmap::core

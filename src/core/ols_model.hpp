@@ -1,0 +1,61 @@
+#pragma once
+// Unconstrained OLS refit on the selected sensors (paper §2.3, Eq. 17-20).
+//
+// Group-lasso coefficients are shrunk by the budget constraint (the paper's
+// two-sensor example in §2.3), so after selection the prediction model is
+// re-learned without any penalty:
+//     min_{α,c} ||F − α X^S − C||_F
+// solved response-by-response through a Householder QR of the augmented
+// design [X^Sᵀ | 1]. Predictions run in raw voltage units — no
+// normalization is needed at runtime.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace vmap::core {
+
+/// Linear predictor f* = α x_S + c learned by least squares.
+class OlsModel {
+ public:
+  /// Fits from training data: `x_selected` is Q x N (selected sensor rows of
+  /// X), `f` is K x N. Requires N >= Q + 1.
+  OlsModel(const linalg::Matrix& x_selected, const linalg::Matrix& f);
+
+  std::size_t sensors() const { return alpha_.cols(); }
+  std::size_t responses() const { return alpha_.rows(); }
+
+  /// Coefficient matrix α (K x Q).
+  const linalg::Matrix& alpha() const { return alpha_; }
+  /// Intercepts c (K).
+  const linalg::Vector& intercept() const { return intercept_; }
+
+  /// Predicts all K responses from one sensor reading vector (size Q).
+  linalg::Vector predict(const linalg::Vector& x_sensors) const;
+  /// Column-wise prediction: input Q x N, output K x N.
+  linalg::Matrix predict(const linalg::Matrix& x_sensors) const;
+
+  /// Training root-mean-square residual (per response entry).
+  double train_rmse() const { return train_rmse_; }
+
+ private:
+  linalg::Matrix alpha_;
+  linalg::Vector intercept_;
+  double train_rmse_ = 0.0;
+};
+
+/// Aggregated relative prediction error (Table 1's metric):
+/// mean over all entries of |f*_k − f_k| / |f_k|.
+double relative_error(const linalg::Matrix& f_true,
+                      const linalg::Matrix& f_pred);
+
+/// Root-mean-square error over all entries.
+double rmse(const linalg::Matrix& f_true, const linalg::Matrix& f_pred);
+
+/// Largest absolute entry error.
+double max_abs_error(const linalg::Matrix& f_true,
+                     const linalg::Matrix& f_pred);
+
+}  // namespace vmap::core

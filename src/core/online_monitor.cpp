@@ -1,0 +1,58 @@
+#include "core/online_monitor.hpp"
+
+#include "util/assert.hpp"
+
+namespace vmap::core {
+
+OnlineMonitor::OnlineMonitor(PlacementModel model, OnlineMonitorConfig config)
+    : model_(std::move(model)), config_(config) {
+  VMAP_REQUIRE(config_.emergency_threshold > 0.0,
+               "threshold must be positive");
+  VMAP_REQUIRE(config_.alarm_consecutive >= 1 &&
+                   config_.release_consecutive >= 1,
+               "debounce counts must be >= 1");
+}
+
+OnlineMonitor::Decision OnlineMonitor::observe(
+    const linalg::Vector& sensor_readings) {
+  Decision decision;
+  decision.predicted = model_.predict_from_sensor_readings(sensor_readings);
+
+  decision.worst_voltage = decision.predicted[0];
+  for (std::size_t k = 0; k < decision.predicted.size(); ++k) {
+    if (decision.predicted[k] < decision.worst_voltage) {
+      decision.worst_voltage = decision.predicted[k];
+      decision.worst_row = k;
+    }
+  }
+  decision.crossing = decision.worst_voltage < config_.emergency_threshold;
+
+  if (decision.crossing) {
+    ++crossing_streak_;
+    safe_streak_ = 0;
+    if (!alarm_ && crossing_streak_ >= config_.alarm_consecutive) {
+      alarm_ = true;
+      ++alarm_episodes_;
+    }
+  } else {
+    ++safe_streak_;
+    crossing_streak_ = 0;
+    if (alarm_ && safe_streak_ >= config_.release_consecutive) alarm_ = false;
+  }
+
+  decision.alarm = alarm_;
+  ++samples_;
+  if (alarm_) ++alarm_samples_;
+  return decision;
+}
+
+void OnlineMonitor::reset() {
+  alarm_ = false;
+  crossing_streak_ = 0;
+  safe_streak_ = 0;
+  samples_ = 0;
+  alarm_samples_ = 0;
+  alarm_episodes_ = 0;
+}
+
+}  // namespace vmap::core

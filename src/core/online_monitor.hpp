@@ -1,0 +1,70 @@
+#pragma once
+// Runtime voltage-emergency monitor.
+//
+// Wraps a fitted PlacementModel into the component a dynamic noise
+// management loop would actually integrate (paper §2.4's closing remark:
+// at runtime only Eq. (20) is evaluated). Adds the two things hardware
+// deployments need beyond raw prediction:
+//
+//  * debouncing — an alarm asserts only after `alarm_consecutive`
+//    consecutive crossing predictions and releases after
+//    `release_consecutive` safe ones, filtering single-sample noise so the
+//    (expensive) throttling machinery is not toggled spuriously;
+//  * accounting — alarm/crossing statistics for post-hoc evaluation.
+
+#include <cstddef>
+
+#include "core/pipeline.hpp"
+#include "linalg/vector.hpp"
+
+namespace vmap::core {
+
+struct OnlineMonitorConfig {
+  double emergency_threshold = 0.85;  ///< V
+  std::size_t alarm_consecutive = 1;  ///< crossings needed to assert
+  std::size_t release_consecutive = 1;  ///< safe samples needed to release
+};
+
+/// Stateful monitor; feed one sensor-reading vector per sample.
+class OnlineMonitor {
+ public:
+  /// The model is copied so the monitor owns its coefficients (as the
+  /// synthesized hardware table would).
+  OnlineMonitor(PlacementModel model, OnlineMonitorConfig config);
+
+  /// Per-sample decision record.
+  struct Decision {
+    bool alarm = false;          ///< debounced alarm state after this sample
+    bool crossing = false;       ///< any predicted voltage below threshold
+    std::size_t worst_row = 0;   ///< monitored row with the lowest prediction
+    double worst_voltage = 0.0;  ///< that prediction (V)
+    linalg::Vector predicted;    ///< all monitored rows' predictions
+  };
+
+  /// Consumes one reading vector (aligned with the model's sensor_rows()).
+  Decision observe(const linalg::Vector& sensor_readings);
+
+  const PlacementModel& model() const { return model_; }
+  const OnlineMonitorConfig& config() const { return config_; }
+
+  std::size_t samples() const { return samples_; }
+  /// Samples during which the (debounced) alarm was asserted.
+  std::size_t alarm_samples() const { return alarm_samples_; }
+  /// Distinct alarm episodes (assertions).
+  std::size_t alarm_episodes() const { return alarm_episodes_; }
+  bool alarm_active() const { return alarm_; }
+
+  void reset();
+
+ private:
+  PlacementModel model_;
+  OnlineMonitorConfig config_;
+  bool alarm_ = false;
+  std::size_t crossing_streak_ = 0;
+  std::size_t safe_streak_ = 0;
+  std::size_t samples_ = 0;
+  std::size_t alarm_samples_ = 0;
+  std::size_t alarm_episodes_ = 0;
+};
+
+}  // namespace vmap::core

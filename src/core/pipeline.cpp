@@ -1,0 +1,217 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/normalizer.hpp"
+#include "core/ols_model.hpp"
+#include "core/sensor_selection.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace vmap::core {
+
+PlacementModel::PlacementModel(std::vector<CoreModel> cores,
+                               std::vector<std::size_t> sensor_nodes,
+                               std::size_t num_blocks)
+    : cores_(std::move(cores)),
+      sensor_nodes_(std::move(sensor_nodes)),
+      num_blocks_(num_blocks) {
+  for (const auto& core : cores_)
+    sensor_rows_.insert(sensor_rows_.end(), core.selected_rows.begin(),
+                        core.selected_rows.end());
+  std::sort(sensor_rows_.begin(), sensor_rows_.end());
+  sensor_rows_.erase(std::unique(sensor_rows_.begin(), sensor_rows_.end()),
+                     sensor_rows_.end());
+  VMAP_REQUIRE(sensor_rows_.size() == sensor_nodes_.size(),
+               "sensor node list must align with selected rows");
+}
+
+linalg::Matrix PlacementModel::predict(const linalg::Matrix& x_full) const {
+  linalg::Matrix f_pred(num_blocks_, x_full.cols());
+  for (const auto& core : cores_) {
+    const linalg::Matrix x_sel = x_full.select_rows(core.selected_rows);
+    linalg::Matrix f_core = linalg::matmul(core.alpha, x_sel);
+    for (std::size_t k = 0; k < core.block_rows.size(); ++k) {
+      const double c = core.intercept[k];
+      const double* src = f_core.row_data(k);
+      double* dst = f_pred.row_data(core.block_rows[k]);
+      for (std::size_t s = 0; s < f_core.cols(); ++s) dst[s] = src[s] + c;
+    }
+  }
+  return f_pred;
+}
+
+linalg::Vector PlacementModel::predict_from_sensor_readings(
+    const linalg::Vector& readings) const {
+  VMAP_REQUIRE(readings.size() == sensor_rows_.size(),
+               "readings must align with the placed sensors");
+  // Map global candidate rows to positions within the sensor list once per
+  // call; the list is sorted, so binary search suffices.
+  auto position_of = [this](std::size_t row) {
+    const auto it =
+        std::lower_bound(sensor_rows_.begin(), sensor_rows_.end(), row);
+    VMAP_ASSERT(it != sensor_rows_.end() && *it == row,
+                "selected row missing from the sensor list");
+    return static_cast<std::size_t>(it - sensor_rows_.begin());
+  };
+  linalg::Vector f_pred(num_blocks_);
+  for (const auto& core : cores_) {
+    linalg::Vector x_sel(core.selected_rows.size());
+    for (std::size_t j = 0; j < core.selected_rows.size(); ++j)
+      x_sel[j] = readings[position_of(core.selected_rows[j])];
+    linalg::Vector f_core = linalg::matvec(core.alpha, x_sel);
+    for (std::size_t k = 0; k < core.block_rows.size(); ++k)
+      f_pred[core.block_rows[k]] = f_core[k] + core.intercept[k];
+  }
+  return f_pred;
+}
+
+linalg::Vector PlacementModel::predict_sample(
+    const linalg::Vector& x_full) const {
+  linalg::Vector f_pred(num_blocks_);
+  for (const auto& core : cores_) {
+    linalg::Vector x_sel(core.selected_rows.size());
+    for (std::size_t j = 0; j < core.selected_rows.size(); ++j)
+      x_sel[j] = x_full[core.selected_rows[j]];
+    linalg::Vector f_core = linalg::matvec(core.alpha, x_sel);
+    for (std::size_t k = 0; k < core.block_rows.size(); ++k)
+      f_pred[core.block_rows[k]] = f_core[k] + core.intercept[k];
+  }
+  return f_pred;
+}
+
+namespace {
+
+/// Converts group-lasso coefficients (normalized space, restricted to the
+/// selected columns) into a raw-unit affine model — the no-refit ablation.
+void gl_coefficients_to_affine(const GroupLassoResult& gl,
+                               const std::vector<std::size_t>& selected_local,
+                               const Normalizer& x_norm,
+                               const Normalizer& f_norm, CoreModel& core) {
+  const std::size_t k_count = gl.beta.rows();
+  const std::size_t q = selected_local.size();
+  core.alpha = linalg::Matrix(k_count, q);
+  core.intercept = linalg::Vector(k_count);
+  for (std::size_t k = 0; k < k_count; ++k) {
+    const double sf = f_norm.is_degenerate(k) ? 0.0 : f_norm.stddevs()[k];
+    double c = f_norm.means()[k];
+    for (std::size_t j = 0; j < q; ++j) {
+      const std::size_t m = selected_local[j];
+      const double sx = x_norm.stddevs()[m];
+      const double a = x_norm.is_degenerate(m)
+                           ? 0.0
+                           : sf * gl.beta(k, m) / sx;
+      core.alpha(k, j) = a;
+      c -= a * x_norm.means()[m];
+    }
+    core.intercept[k] = c;
+  }
+}
+
+CoreModel fit_core(const Dataset& data, std::size_t core_index,
+                   std::vector<std::size_t> candidate_rows,
+                   std::vector<std::size_t> block_rows,
+                   const PipelineConfig& config) {
+  VMAP_REQUIRE(!candidate_rows.empty(), "no candidates for this core");
+  VMAP_REQUIRE(!block_rows.empty(), "no blocks for this core");
+
+  CoreModel core;
+  core.core = core_index;
+  core.candidate_rows = std::move(candidate_rows);
+  core.block_rows = std::move(block_rows);
+
+  // Steps 2-3: restrict + normalize.
+  const linalg::Matrix x = data.x_train.select_rows(core.candidate_rows);
+  const linalg::Matrix f = data.f_train.select_rows(core.block_rows);
+  const Normalizer x_norm(x);
+  const Normalizer f_norm(f);
+  const linalg::Matrix z = x_norm.normalize(x);
+  const linalg::Matrix g = f_norm.normalize(f);
+
+  // Step 4: budgeted group lasso.
+  GroupLasso solver(GroupLassoProblem::from_data(z, g), config.gl_options);
+  const GroupLassoResult gl = solver.solve_budget(config.lambda);
+  core.group_norms = gl.group_norms;
+
+  // Step 5: selection. The OLS refit needs more samples than regressors,
+  // so selections are capped at N-1 sensors per core.
+  const std::size_t cap = std::min(core.candidate_rows.size(),
+                                   data.x_train.cols() - 1);
+  SensorSelection selection =
+      config.sensors_per_core
+          ? select_top_k(gl,
+                         std::min<std::size_t>(*config.sensors_per_core, cap))
+          : select_sensors(gl, config.threshold);
+  if (selection.indices.empty()) {
+    VMAP_LOG(kWarn) << "core " << core_index << ": lambda=" << config.lambda
+                    << " selected no sensor; falling back to the strongest "
+                       "candidate";
+    selection = select_top_k(gl, 1);
+  } else if (selection.indices.size() > cap) {
+    VMAP_LOG(kWarn) << "core " << core_index << ": selection of "
+                    << selection.indices.size()
+                    << " sensors exceeds the sample budget; keeping the top "
+                    << cap;
+    selection = select_top_k(gl, cap);
+  }
+
+  core.selected_rows.reserve(selection.indices.size());
+  for (std::size_t local : selection.indices)
+    core.selected_rows.push_back(core.candidate_rows[local]);
+
+  // Steps 6-8: prediction model on the selected sensors.
+  if (config.refit_ols) {
+    const linalg::Matrix x_sel = data.x_train.select_rows(core.selected_rows);
+    OlsModel ols(x_sel, f);
+    core.alpha = ols.alpha();
+    core.intercept = ols.intercept();
+  } else {
+    gl_coefficients_to_affine(gl, selection.indices, x_norm, f_norm, core);
+  }
+  return core;
+}
+
+}  // namespace
+
+PlacementModel fit_placement(const Dataset& data,
+                             const chip::Floorplan& floorplan,
+                             const PipelineConfig& config) {
+  VMAP_REQUIRE(config.lambda > 0.0, "lambda must be positive");
+  VMAP_REQUIRE(config.threshold >= 0.0, "threshold must be non-negative");
+  VMAP_REQUIRE(data.critical_block.size() == data.num_blocks(),
+               "dataset critical-node/block mapping is inconsistent");
+
+  std::vector<CoreModel> cores;
+  if (config.per_core) {
+    for (std::size_t c = 0; c < floorplan.core_count(); ++c) {
+      cores.push_back(fit_core(data, c,
+                               data.candidate_rows_for_core(floorplan, c),
+                               data.critical_rows_for_core(floorplan, c),
+                               config));
+    }
+  } else {
+    std::vector<std::size_t> all_candidates(data.num_candidates());
+    std::iota(all_candidates.begin(), all_candidates.end(), 0);
+    std::vector<std::size_t> all_blocks(data.num_blocks());
+    std::iota(all_blocks.begin(), all_blocks.end(), 0);
+    cores.push_back(fit_core(data, 0, std::move(all_candidates),
+                             std::move(all_blocks), config));
+  }
+
+  // Gather the union of selected rows, then map rows to grid nodes.
+  std::vector<std::size_t> rows;
+  for (const auto& core : cores)
+    rows.insert(rows.end(), core.selected_rows.begin(),
+                core.selected_rows.end());
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  std::vector<std::size_t> nodes;
+  nodes.reserve(rows.size());
+  for (std::size_t row : rows) nodes.push_back(data.candidate_nodes[row]);
+
+  return PlacementModel(std::move(cores), std::move(nodes),
+                        data.num_blocks());
+}
+
+}  // namespace vmap::core

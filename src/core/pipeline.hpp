@@ -1,0 +1,89 @@
+#pragma once
+// End-to-end methodology: Steps 0-8 of paper §2.4.
+//
+// For each core (the paper reports per-core sensor counts), the pipeline:
+//   1. normalizes the core's candidate voltages Z and block voltages G,
+//   2. solves the budgeted group lasso (Eq. 12) at the given λ,
+//   3. thresholds ||β_m||₂ > T to select the core's sensors (Step 5),
+//   4. refits an unconstrained OLS model on the selected raw voltages
+//      (Eq. 17) — or, for the §2.3 ablation, converts the shrunk GL
+//      coefficients back to raw units instead,
+// and assembles one chip-wide PlacementModel that predicts every block's
+// supply voltage from the selected sensors' readings.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "chip/floorplan.hpp"
+#include "core/dataset.hpp"
+#include "core/group_lasso.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace vmap::core {
+
+struct PipelineConfig {
+  double lambda = 30.0;    ///< per-core GL budget (Eq. 12's λ)
+  double threshold = 1e-3; ///< selection threshold T on ||β_m||₂
+  /// When set, overrides the threshold rule with exact top-k selection per
+  /// core (used for fixed-budget comparisons like Table 2's 2/core).
+  std::optional<std::size_t> sensors_per_core;
+  bool refit_ols = true;   ///< §2.3 refit; false = raw GL coefficients
+  bool per_core = true;    ///< false = one chip-wide GL problem
+  GroupLassoOptions gl_options;
+};
+
+/// Per-core fitted artifacts.
+struct CoreModel {
+  std::size_t core = 0;
+  std::vector<std::size_t> candidate_rows;  ///< X rows of this core's candidates
+  std::vector<std::size_t> block_rows;      ///< F rows monitored in this core
+  linalg::Vector group_norms;  ///< ||β_m||₂ aligned with candidate_rows
+  std::vector<std::size_t> selected_rows;   ///< chosen X rows (ascending)
+  linalg::Matrix alpha;        ///< K_core x Q_core prediction coefficients
+  linalg::Vector intercept;    ///< K_core
+};
+
+/// Chip-wide sensor placement + voltage prediction model.
+class PlacementModel {
+ public:
+  explicit PlacementModel(std::vector<CoreModel> cores,
+                          std::vector<std::size_t> sensor_nodes,
+                          std::size_t num_blocks);
+
+  const std::vector<CoreModel>& cores() const { return cores_; }
+  /// All selected X rows, ascending, duplicates removed.
+  const std::vector<std::size_t>& sensor_rows() const { return sensor_rows_; }
+  /// Grid node ids of the selected sensors (aligned with sensor_rows()).
+  const std::vector<std::size_t>& sensor_nodes() const {
+    return sensor_nodes_;
+  }
+  std::size_t num_blocks() const { return num_blocks_; }
+
+  /// Predicts all block voltages for every column of a full candidate
+  /// matrix X (M x N): returns K x N.
+  linalg::Matrix predict(const linalg::Matrix& x_full) const;
+  /// Single-sample variant (x_full has M entries).
+  linalg::Vector predict_sample(const linalg::Vector& x_full) const;
+  /// Runtime variant: predicts from the placed sensors' readings only
+  /// (aligned with sensor_rows()/sensor_nodes()); this is what on-chip
+  /// hardware would evaluate.
+  linalg::Vector predict_from_sensor_readings(
+      const linalg::Vector& readings) const;
+
+ private:
+  std::vector<CoreModel> cores_;
+  std::vector<std::size_t> sensor_rows_;
+  std::vector<std::size_t> sensor_nodes_;
+  std::size_t num_blocks_ = 0;
+};
+
+/// Runs the methodology on a dataset. Throws on configuration errors; falls
+/// back to the strongest single candidate if a core's GL solution selects
+/// nothing at the given λ/T (logged).
+PlacementModel fit_placement(const Dataset& data,
+                             const chip::Floorplan& floorplan,
+                             const PipelineConfig& config);
+
+}  // namespace vmap::core

@@ -1,0 +1,80 @@
+#include "core/rls.hpp"
+
+#include "util/assert.hpp"
+
+namespace vmap::core {
+
+RecursiveLeastSquares::RecursiveLeastSquares(const linalg::Matrix& alpha,
+                                             const linalg::Vector& intercept,
+                                             double forgetting,
+                                             double initial_covariance)
+    : alpha_(alpha), intercept_(intercept), forgetting_(forgetting) {
+  VMAP_REQUIRE(alpha.rows() == intercept.size(),
+               "alpha and intercept disagree on the response count");
+  VMAP_REQUIRE(forgetting > 0.0 && forgetting <= 1.0,
+               "forgetting factor must be in (0, 1]");
+  VMAP_REQUIRE(initial_covariance > 0.0,
+               "initial covariance must be positive");
+  const std::size_t d = alpha.cols() + 1;
+  p_ = linalg::Matrix(d, d);
+  for (std::size_t i = 0; i < d; ++i) p_(i, i) = initial_covariance;
+}
+
+linalg::Vector RecursiveLeastSquares::predict(const linalg::Vector& x) const {
+  VMAP_REQUIRE(x.size() == sensors(), "reading size mismatch");
+  linalg::Vector f = linalg::matvec(alpha_, x);
+  f += intercept_;
+  return f;
+}
+
+linalg::Vector RecursiveLeastSquares::gain(const linalg::Vector& x_aug) {
+  // k = P x / (λ + xᵀ P x);  P ← (P − k (P x)ᵀ) / λ   (P stays symmetric).
+  linalg::Vector px = linalg::matvec(p_, x_aug);
+  const double denom = forgetting_ + linalg::dot(x_aug, px);
+  VMAP_ASSERT(denom > 0.0, "RLS denominator must stay positive");
+  linalg::Vector k = px;
+  k *= 1.0 / denom;
+  for (std::size_t i = 0; i < p_.rows(); ++i) {
+    double* row = p_.row_data(i);
+    const double ki = k[i];
+    for (std::size_t j = 0; j < p_.cols(); ++j)
+      row[j] = (row[j] - ki * px[j]) / forgetting_;
+  }
+  return k;
+}
+
+void RecursiveLeastSquares::update(const linalg::Vector& x,
+                                   const linalg::Vector& f) {
+  VMAP_REQUIRE(f.size() == responses(), "response size mismatch");
+  std::vector<std::size_t> rows(responses());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  update_partial(x, rows, f);
+}
+
+void RecursiveLeastSquares::update_partial(
+    const linalg::Vector& x, const std::vector<std::size_t>& rows,
+    const linalg::Vector& f_rows) {
+  VMAP_REQUIRE(x.size() == sensors(), "reading size mismatch");
+  VMAP_REQUIRE(rows.size() == f_rows.size(),
+               "row list and values must align");
+  const std::size_t q = sensors();
+  linalg::Vector x_aug(q + 1);
+  for (std::size_t j = 0; j < q; ++j) x_aug[j] = x[j];
+  x_aug[q] = 1.0;
+
+  const linalg::Vector k = gain(x_aug);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::size_t r = rows[i];
+    VMAP_REQUIRE(r < responses(), "response row out of range");
+    double prediction = intercept_[r];
+    const double* arow = alpha_.row_data(r);
+    for (std::size_t j = 0; j < q; ++j) prediction += arow[j] * x[j];
+    const double err = f_rows[i] - prediction;
+    double* wrow = alpha_.row_data(r);
+    for (std::size_t j = 0; j < q; ++j) wrow[j] += err * k[j];
+    intercept_[r] += err * k[q];
+  }
+  ++updates_;
+}
+
+}  // namespace vmap::core

@@ -1,0 +1,67 @@
+#pragma once
+// Recursive least squares for online model adaptation.
+//
+// The OLS refit is learned at design time against simulation; silicon
+// drifts (aging, temperature, workload shift). When occasional ground
+// truth is available at runtime — e.g. a critical-path-monitor reading at
+// a monitored block — the affine predictor can be adapted in place with
+// exponentially-forgetting recursive least squares.
+//
+// All K responses share the same regressor vector (the Q sensor readings
+// plus the intercept), so a single inverse-covariance matrix P serves
+// every response: one rank-1 P update plus K scalar weight updates per
+// ground-truth sample. Cost per update is O(Q² + K·Q).
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace vmap::core {
+
+/// Multi-response RLS over an affine model f ≈ W·[x; 1].
+class RecursiveLeastSquares {
+ public:
+  /// Starts from an existing model (alpha: K x Q, intercept: K).
+  /// `forgetting` in (0, 1]: 1 = ordinary growing-window RLS; smaller
+  /// values track drift faster at the cost of noise sensitivity.
+  /// `initial_covariance` scales the initial P = c·I (larger = the prior
+  /// model is trusted less).
+  RecursiveLeastSquares(const linalg::Matrix& alpha,
+                        const linalg::Vector& intercept,
+                        double forgetting = 0.999,
+                        double initial_covariance = 1.0);
+
+  std::size_t sensors() const { return alpha_.cols(); }
+  std::size_t responses() const { return alpha_.rows(); }
+
+  /// Current coefficients.
+  const linalg::Matrix& alpha() const { return alpha_; }
+  const linalg::Vector& intercept() const { return intercept_; }
+
+  /// Predicts all responses from one sensor-reading vector (size Q).
+  linalg::Vector predict(const linalg::Vector& x) const;
+
+  /// Incorporates one ground-truth observation: readings x (size Q) and
+  /// true responses f (size K).
+  void update(const linalg::Vector& x, const linalg::Vector& f);
+
+  /// Incorporates ground truth for a subset of responses (rows of f).
+  void update_partial(const linalg::Vector& x,
+                      const std::vector<std::size_t>& rows,
+                      const linalg::Vector& f_rows);
+
+  std::size_t updates() const { return updates_; }
+
+ private:
+  linalg::Vector gain(const linalg::Vector& x_aug);  // also updates P
+
+  linalg::Matrix alpha_;       // K x Q
+  linalg::Vector intercept_;   // K
+  linalg::Matrix p_;           // (Q+1) x (Q+1) shared inverse covariance
+  double forgetting_;
+  std::size_t updates_ = 0;
+};
+
+}  // namespace vmap::core

@@ -1,0 +1,64 @@
+#include "core/sensor_noise.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace vmap::core {
+
+namespace {
+double quantize(double value, double lsb) {
+  if (lsb <= 0.0) return value;
+  return std::round(value / lsb) * lsb;
+}
+}  // namespace
+
+linalg::Matrix apply_sensor_noise(const linalg::Matrix& readings,
+                                  const SensorNoiseModel& model,
+                                  std::uint64_t seed) {
+  if (model.is_ideal()) return readings;
+  Rng rng(seed);
+  const linalg::Vector offsets =
+      draw_sensor_offsets(readings.rows(), model, rng.next_u64());
+  linalg::Matrix noisy(readings.rows(), readings.cols());
+  for (std::size_t r = 0; r < readings.rows(); ++r) {
+    const double* src = readings.row_data(r);
+    double* dst = noisy.row_data(r);
+    for (std::size_t c = 0; c < readings.cols(); ++c) {
+      double v = src[c] + offsets[r];
+      if (model.gaussian_sigma > 0.0)
+        v += rng.normal(0.0, model.gaussian_sigma);
+      dst[c] = quantize(v, model.lsb);
+    }
+  }
+  return noisy;
+}
+
+linalg::Vector apply_sensor_noise(const linalg::Vector& reading,
+                                  const SensorNoiseModel& model,
+                                  const linalg::Vector& offsets, Rng& rng) {
+  VMAP_REQUIRE(offsets.size() == reading.size(),
+               "offsets must match sensor count");
+  if (model.is_ideal()) return reading;
+  linalg::Vector noisy(reading.size());
+  for (std::size_t i = 0; i < reading.size(); ++i) {
+    double v = reading[i] + offsets[i];
+    if (model.gaussian_sigma > 0.0) v += rng.normal(0.0, model.gaussian_sigma);
+    noisy[i] = quantize(v, model.lsb);
+  }
+  return noisy;
+}
+
+linalg::Vector draw_sensor_offsets(std::size_t sensors,
+                                   const SensorNoiseModel& model,
+                                   std::uint64_t seed) {
+  linalg::Vector offsets(sensors);
+  if (model.offset_sigma > 0.0) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < sensors; ++i)
+      offsets[i] = rng.normal(0.0, model.offset_sigma);
+  }
+  return offsets;
+}
+
+}  // namespace vmap::core

@@ -1,0 +1,48 @@
+#pragma once
+// Sensor measurement imperfections.
+//
+// Real on-chip voltage sensors quantize (ADC resolution), add thermal
+// noise, and carry a per-instance calibration offset. The paper evaluates
+// with ideal sensor readings; this model lets the robustness experiments
+// ask how much of the methodology's accuracy survives realistic sensors —
+// and whether training on noisy readings (so the OLS refit absorbs the
+// noise statistics) helps.
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "util/rng.hpp"
+
+namespace vmap::core {
+
+/// Additive/quantizing measurement model applied to raw sensor voltages.
+struct SensorNoiseModel {
+  double gaussian_sigma = 0.0;  ///< thermal noise std-dev (V)
+  double offset_sigma = 0.0;    ///< per-sensor fixed offset std-dev (V)
+  double lsb = 0.0;             ///< ADC quantization step (V); 0 = none
+
+  bool is_ideal() const {
+    return gaussian_sigma == 0.0 && offset_sigma == 0.0 && lsb == 0.0;
+  }
+};
+
+/// Applies the noise model to a readings matrix (one sensor per row, one
+/// sample per column). Per-sensor offsets are drawn once per call — rows
+/// keep their offset across columns, as real instances would. Deterministic
+/// in `seed`.
+linalg::Matrix apply_sensor_noise(const linalg::Matrix& readings,
+                                  const SensorNoiseModel& model,
+                                  std::uint64_t seed);
+
+/// Single-sample variant with externally drawn offsets (size = rows).
+linalg::Vector apply_sensor_noise(const linalg::Vector& reading,
+                                  const SensorNoiseModel& model,
+                                  const linalg::Vector& offsets, Rng& rng);
+
+/// Draws the per-sensor offsets used by the vector variant.
+linalg::Vector draw_sensor_offsets(std::size_t sensors,
+                                   const SensorNoiseModel& model,
+                                   std::uint64_t seed);
+
+}  // namespace vmap::core

@@ -1,0 +1,42 @@
+#include "core/sensor_selection.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace vmap::core {
+
+SensorSelection select_sensors(const GroupLassoResult& result,
+                               double threshold) {
+  VMAP_REQUIRE(threshold >= 0.0, "threshold must be non-negative");
+  SensorSelection selection;
+  selection.threshold = threshold;
+  selection.group_norms = result.group_norms;
+  selection.indices = result.active_groups(threshold);
+  return selection;
+}
+
+SensorSelection select_top_k(const GroupLassoResult& result,
+                             std::size_t count) {
+  const std::size_t m_count = result.group_norms.size();
+  VMAP_REQUIRE(count <= m_count, "cannot select more sensors than candidates");
+  std::vector<std::size_t> order(m_count);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return result.group_norms[a] > result.group_norms[b];
+                   });
+  order.resize(count);
+  const double smallest_selected_norm =
+      count > 0 ? result.group_norms[order.back()] : 0.0;
+  std::sort(order.begin(), order.end());
+
+  SensorSelection selection;
+  selection.threshold = smallest_selected_norm;
+  selection.group_norms = result.group_norms;
+  selection.indices = std::move(order);
+  return selection;
+}
+
+}  // namespace vmap::core

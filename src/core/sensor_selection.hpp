@@ -1,0 +1,35 @@
+#pragma once
+// Sensor selection from group-lasso coefficients (paper §2.2, Step 5).
+//
+// After solving the GL problem, the m-th candidate is selected iff
+// ||β_m||₂ > T. The paper observes (and our Fig. 1 harness reproduces) a
+// gap of several orders of magnitude between selected and rejected
+// candidates, so the threshold is uncritical; T = 1e-3 is the default.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/group_lasso.hpp"
+
+namespace vmap::core {
+
+/// A selected-sensor set, in candidate-index space.
+struct SensorSelection {
+  std::vector<std::size_t> indices;   ///< selected candidate indices, ascending
+  linalg::Vector group_norms;         ///< all candidates' ||β_m||₂
+  double threshold = 1e-3;
+
+  std::size_t count() const { return indices.size(); }
+};
+
+/// Applies the threshold rule to a GL result.
+SensorSelection select_sensors(const GroupLassoResult& result,
+                               double threshold = 1e-3);
+
+/// Selects exactly `count` sensors: the candidates with the largest
+/// ||β_m||₂ (used when a hard sensor budget is imposed, e.g. the paper's
+/// "2 sensors per core" comparison). Ties resolve to lower index.
+SensorSelection select_top_k(const GroupLassoResult& result,
+                             std::size_t count);
+
+}  // namespace vmap::core

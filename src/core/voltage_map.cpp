@@ -1,0 +1,83 @@
+#include "core/voltage_map.hpp"
+
+#include <algorithm>
+
+#include "sparse/csr.hpp"
+#include "util/assert.hpp"
+
+namespace vmap::core {
+
+VoltageMapBuilder::VoltageMapBuilder(const grid::PowerGrid& grid,
+                                     std::vector<std::size_t> known_nodes)
+    : grid_(grid), known_(std::move(known_nodes)) {
+  const std::size_t n = grid_.node_count();
+  VMAP_REQUIRE(!known_.empty(), "need at least one known node");
+  reduced_index_.assign(n, 0);
+  std::vector<std::ptrdiff_t> known_pos(n, -1);
+  for (std::size_t i = 0; i < known_.size(); ++i) {
+    VMAP_REQUIRE(known_[i] < n, "known node out of range");
+    VMAP_REQUIRE(known_pos[known_[i]] < 0, "duplicate known node");
+    known_pos[known_[i]] = static_cast<std::ptrdiff_t>(i);
+  }
+
+  std::size_t unknown_count = 0;
+  for (std::size_t node = 0; node < n; ++node) {
+    if (known_pos[node] >= 0) {
+      reduced_index_[node] = -1;
+    } else {
+      reduced_index_[node] = static_cast<std::ptrdiff_t>(unknown_count++);
+    }
+  }
+  VMAP_REQUIRE(unknown_count > 0, "every node is already known");
+
+  // Assemble the reduced system G_uu and the couplings to known nodes.
+  const auto& g = grid_.conductance();
+  const auto& row_ptr = g.row_ptr();
+  const auto& col_idx = g.col_idx();
+  const auto& values = g.values();
+  sparse::TripletBuilder builder(unknown_count, unknown_count);
+  reduced_pad_injection_ = linalg::Vector(unknown_count);
+  const auto& pad_injection = grid_.pad_injection();
+
+  for (std::size_t node = 0; node < n; ++node) {
+    const std::ptrdiff_t u = reduced_index_[node];
+    if (u < 0) continue;
+    reduced_pad_injection_[static_cast<std::size_t>(u)] =
+        pad_injection[node];
+    for (std::size_t k = row_ptr[node]; k < row_ptr[node + 1]; ++k) {
+      const std::size_t other = col_idx[k];
+      const std::ptrdiff_t v = reduced_index_[other];
+      if (v >= 0) {
+        builder.add(static_cast<std::size_t>(u), static_cast<std::size_t>(v),
+                    values[k]);
+      } else {
+        couplings_.push_back({static_cast<std::size_t>(u),
+                              static_cast<std::size_t>(known_pos[other]),
+                              values[k]});
+      }
+    }
+  }
+  factor_ = std::make_unique<sparse::SkylineCholesky>(builder.build());
+}
+
+linalg::Vector VoltageMapBuilder::build(
+    const linalg::Vector& known_values) const {
+  VMAP_REQUIRE(known_values.size() == known_.size(),
+               "known value count mismatch");
+  linalg::Vector rhs = reduced_pad_injection_;
+  for (const auto& c : couplings_)
+    rhs[c.unknown_index] -= c.conductance * known_values[c.known_pos];
+
+  const linalg::Vector solution = factor_->solve(rhs);
+
+  linalg::Vector full(grid_.node_count());
+  for (std::size_t node = 0; node < full.size(); ++node) {
+    const std::ptrdiff_t u = reduced_index_[node];
+    full[node] = u >= 0 ? solution[static_cast<std::size_t>(u)] : 0.0;
+  }
+  for (std::size_t i = 0; i < known_.size(); ++i)
+    full[known_[i]] = known_values[i];
+  return full;
+}
+
+}  // namespace vmap::core

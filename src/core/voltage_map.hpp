@@ -1,0 +1,56 @@
+#pragma once
+// Full-chip voltage map generation.
+//
+// The prediction model yields voltages at the K monitored critical nodes;
+// the paper's title artifact — a voltage map of the whole die — is
+// completed here by harmonic interpolation over the power grid: node
+// voltages at the sensor locations (measured) and critical nodes
+// (predicted) are held fixed, and every other node's voltage solves the
+// grid's conductance equations with no local load (pads keep pulling
+// toward VDD). The reduced SPD system is prefactored once, so building a
+// map per sample costs one back-substitution.
+//
+// The interpolated field is exact wherever the true load currents are
+// zero, and a smooth physically-consistent estimate elsewhere — suitable
+// for visualization and hot-region localization, not for signoff.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "grid/power_grid.hpp"
+#include "linalg/vector.hpp"
+#include "sparse/skyline_cholesky.hpp"
+
+namespace vmap::core {
+
+/// Builds full-grid voltage maps from a fixed set of known nodes.
+class VoltageMapBuilder {
+ public:
+  /// `known_nodes` (distinct, in range) are the nodes whose voltages will
+  /// be supplied per map. Must leave at least one unknown node.
+  VoltageMapBuilder(const grid::PowerGrid& grid,
+                    std::vector<std::size_t> known_nodes);
+
+  const std::vector<std::size_t>& known_nodes() const { return known_; }
+
+  /// Builds the full node-voltage vector given values at the known nodes
+  /// (aligned with known_nodes()).
+  linalg::Vector build(const linalg::Vector& known_values) const;
+
+ private:
+  const grid::PowerGrid& grid_;
+  std::vector<std::size_t> known_;
+  std::vector<std::ptrdiff_t> reduced_index_;  // node -> unknown index, -1 known
+  // Coupling entries G(u, k): rhs_u -= g * v_known.
+  struct Coupling {
+    std::size_t unknown_index;
+    std::size_t known_pos;  // position in known_
+    double conductance;
+  };
+  std::vector<Coupling> couplings_;
+  linalg::Vector reduced_pad_injection_;
+  std::unique_ptr<sparse::SkylineCholesky> factor_;
+};
+
+}  // namespace vmap::core

@@ -1,0 +1,121 @@
+#include "grid/transient.hpp"
+
+#include "sparse/csr.hpp"
+#include "util/assert.hpp"
+
+namespace vmap::grid {
+
+namespace {
+/// Builds G + C/dt, swapping each pad's DC conductance for the RL
+/// companion conductance when the pads are inductive.
+sparse::CsrMatrix build_step_matrix(const PowerGrid& grid, double dt,
+                                    double pad_conductance_delta) {
+  const auto& g = grid.conductance();
+  const auto& cap = grid.capacitance();
+  std::vector<double> values = g.values();
+  const auto& row_ptr = g.row_ptr();
+  const auto& col_idx = g.col_idx();
+  std::vector<bool> is_pad(g.rows(), false);
+  for (std::size_t pad : grid.pad_nodes()) is_pad[pad] = true;
+  // Every node has at least one mesh/via segment, so its diagonal entry is
+  // stored explicitly.
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (col_idx[k] == r) {
+        values[k] += cap[r] / dt;
+        if (is_pad[r]) values[k] += pad_conductance_delta;
+        break;
+      }
+    }
+  }
+  return sparse::CsrMatrix(g.rows(), g.cols(), row_ptr, col_idx,
+                           std::move(values));
+}
+}  // namespace
+
+TransientSim::TransientSim(const PowerGrid& grid, double dt, StepSolver solver)
+    : grid_(grid),
+      dt_(dt),
+      solver_kind_(solver),
+      c_over_dt_(grid.node_count()),
+      v_(grid.node_count(), grid.config().vdd),
+      pad_currents_(grid.pad_nodes().size()) {
+  VMAP_REQUIRE(dt > 0.0, "time step must be positive");
+
+  const double r_pad = grid_.config().pad_resistance;
+  const double l_pad = grid_.config().pad_inductance;
+  inductive_ = l_pad > 0.0;
+  double delta = 0.0;
+  if (inductive_) {
+    g_eff_ = 1.0 / (r_pad + l_pad / dt_);
+    history_gain_ = g_eff_ * (l_pad / dt_);
+    delta = g_eff_ - 1.0 / r_pad;  // replace 1/R with g_eff on pad diagonals
+  }
+  step_matrix_ = build_step_matrix(grid_, dt_, delta);
+
+  const auto& cap = grid_.capacitance();
+  for (std::size_t i = 0; i < cap.size(); ++i) c_over_dt_[i] = cap[i] / dt_;
+
+  if (solver_kind_ == StepSolver::kDirect) {
+    direct_ = std::make_unique<sparse::SkylineCholesky>(step_matrix_);
+  } else {
+    pcg_precond_ = sparse::ic0_preconditioner(step_matrix_);
+  }
+}
+
+void TransientSim::reset() {
+  v_.fill(grid_.config().vdd);
+  pad_currents_.fill(0.0);
+  steps_ = 0;
+}
+
+void TransientSim::reset(const linalg::Vector& v0) {
+  VMAP_REQUIRE(v0.size() == grid_.node_count(), "state size mismatch");
+  v_ = v0;
+  pad_currents_.fill(0.0);
+  steps_ = 0;
+}
+
+const linalg::Vector& TransientSim::step(
+    const linalg::Vector& load_currents) {
+  VMAP_REQUIRE(load_currents.size() == grid_.node_count() ||
+                   load_currents.size() == grid_.device_node_count(),
+               "load current vector size mismatch");
+  const double vdd = grid_.config().vdd;
+
+  linalg::Vector rhs(grid_.node_count());
+  for (std::size_t i = 0; i < rhs.size(); ++i)
+    rhs[i] = c_over_dt_[i] * v_[i];
+  for (std::size_t i = 0; i < load_currents.size(); ++i)
+    rhs[i] -= load_currents[i];
+
+  const auto& pads = grid_.pad_nodes();
+  if (inductive_) {
+    for (std::size_t p = 0; p < pads.size(); ++p)
+      rhs[pads[p]] += g_eff_ * vdd + history_gain_ * pad_currents_[p];
+  } else {
+    const auto& injection = grid_.pad_injection();
+    for (std::size_t pad : pads) rhs[pad] += injection[pad];
+  }
+
+  if (solver_kind_ == StepSolver::kDirect) {
+    v_ = direct_->solve(rhs);
+  } else {
+    sparse::CgOptions options;
+    options.tolerance = 1e-10;
+    auto result =
+        sparse::conjugate_gradient(step_matrix_, rhs, pcg_precond_, options);
+    VMAP_REQUIRE(result.converged, "PCG failed to converge in transient step");
+    v_ = std::move(result.x);
+  }
+
+  if (inductive_) {
+    for (std::size_t p = 0; p < pads.size(); ++p)
+      pad_currents_[p] = g_eff_ * (vdd - v_[pads[p]]) +
+                         history_gain_ * pad_currents_[p];
+  }
+  ++steps_;
+  return v_;
+}
+
+}  // namespace vmap::grid

@@ -1,0 +1,81 @@
+#pragma once
+// Backward-Euler transient simulation of the power grid.
+//
+// The stepping matrix (G + C/dt, with pad impedances folded in) is
+// constant, so it is factorized once and each time step costs only a
+// forward/backward substitution. Backward Euler is L-stable: large current
+// steps (power-gating events) cannot excite spurious numerical
+// oscillations.
+//
+// When the grid's pads carry a series inductance L, each pad branch is
+// discretized with its backward-Euler companion model:
+//     VDD − v⁺ = R i⁺ + (L/dt)(i⁺ − i)
+//  ⇒  i⁺ = g_eff (VDD − v⁺) + g_eff (L/dt) i,   g_eff = 1/(R + L/dt)
+// which amounts to swapping the pad's DC conductance for g_eff in the step
+// matrix and adding a history term to the RHS; the pad currents are the
+// extra state the simulator carries. This reproduces the L·di/dt first
+// droop (the voltage undershoots below its resistive DC value after a load
+// step) that the voltage-emergency literature targets.
+
+#include <cstddef>
+#include <memory>
+
+#include "grid/power_grid.hpp"
+#include "linalg/vector.hpp"
+#include "sparse/cg.hpp"
+#include "sparse/skyline_cholesky.hpp"
+
+namespace vmap::grid {
+
+/// Which linear solver backs each transient step.
+enum class StepSolver {
+  kDirect,  ///< prefactored skyline Cholesky (default)
+  kPcgIc0,  ///< conjugate gradient with IC(0), for very large grids
+};
+
+/// Time-stepping engine over a PowerGrid.
+class TransientSim {
+ public:
+  /// `dt` is the step in seconds; must be positive.
+  TransientSim(const PowerGrid& grid, double dt,
+               StepSolver solver = StepSolver::kDirect);
+
+  double dt() const { return dt_; }
+  std::size_t steps_taken() const { return steps_; }
+  double time() const { return static_cast<double>(steps_) * dt_; }
+
+  /// Resets to the all-VDD quiescent state (also the initial state).
+  void reset();
+  /// Resets to an explicit state vector (pad currents reset to zero).
+  void reset(const linalg::Vector& v0);
+
+  /// Advances one step with the given per-node load currents (A) applied
+  /// during the new interval; the vector may cover only the device layer
+  /// (zero-extended) or all nodes. Returns the node voltages after the
+  /// step.
+  const linalg::Vector& step(const linalg::Vector& load_currents);
+
+  /// Current node voltages.
+  const linalg::Vector& voltages() const { return v_; }
+
+  /// Current per-pad branch currents (A), aligned with
+  /// grid.pad_nodes(); all zeros when the pads have no inductance.
+  const linalg::Vector& pad_currents() const { return pad_currents_; }
+
+ private:
+  const PowerGrid& grid_;
+  double dt_;
+  StepSolver solver_kind_;
+  bool inductive_ = false;
+  double g_eff_ = 0.0;       ///< effective pad conductance 1/(R + L/dt)
+  double history_gain_ = 0.0;  ///< g_eff * L/dt
+  sparse::CsrMatrix step_matrix_;  // G (+ pad companion) + C/dt
+  std::unique_ptr<sparse::SkylineCholesky> direct_;
+  sparse::Preconditioner pcg_precond_;
+  linalg::Vector c_over_dt_;
+  linalg::Vector v_;
+  linalg::Vector pad_currents_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace vmap::grid

@@ -1,0 +1,134 @@
+#include "linalg/eigen.hpp"
+
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace vmap::linalg {
+
+SymmetricEigen symmetric_eigen(const Matrix& a, double tolerance,
+                               std::size_t max_sweeps) {
+  VMAP_REQUIRE(a.rows() == a.cols(), "eigendecomposition needs a square matrix");
+  VMAP_REQUIRE(tolerance > 0.0, "tolerance must be positive");
+  const std::size_t n = a.rows();
+
+  Matrix d = a;  // working copy, driven to diagonal form
+  Matrix v = Matrix::identity(n);
+
+  const double norm = std::max(a.norm_frobenius(), 1e-300);
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius mass.
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += d(i, j) * d(i, j);
+    if (std::sqrt(2.0 * off) <= tolerance * norm) break;
+
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        // Classic Jacobi rotation annihilating (p, q).
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue, permuting the vectors along.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return d(x, x) < d(y, y); });
+
+  SymmetricEigen result;
+  result.values = Vector(n);
+  result.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.values[j] = d(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i)
+      result.vectors(i, j) = v(i, order[j]);
+  }
+  return result;
+}
+
+SymmetricEigen top_symmetric_eigen(const Matrix& a, std::size_t count,
+                                   double tolerance,
+                                   std::size_t max_iterations) {
+  VMAP_REQUIRE(a.rows() == a.cols(), "eigendecomposition needs a square matrix");
+  const std::size_t n = a.rows();
+  VMAP_REQUIRE(count >= 1 && count <= n, "component count out of range");
+  VMAP_REQUIRE(tolerance > 0.0, "tolerance must be positive");
+
+  // Deterministic full-rank start: shifted cosines make the columns
+  // linearly independent without a random source.
+  Matrix q(n, count);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < count; ++j)
+      q(i, j) = std::cos(static_cast<double>(i * (j + 1)) * 0.7371 +
+                         static_cast<double>(j) * 1.13);
+
+  Vector previous(count, 0.0);
+  SymmetricEigen result;
+  Matrix ritz;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    // Orthonormalize, multiply, Rayleigh–Ritz on the projected block.
+    const Matrix basis = QR(q).thin_q();
+    const Matrix ab = matmul(a, basis);
+    const Matrix projected = matmul_at_b(basis, ab);  // count x count
+    const SymmetricEigen small = symmetric_eigen(projected);
+
+    // Rotate the basis to the Ritz vectors (descending eigenvalue order).
+    Matrix rotation(count, count);
+    Vector values(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t src = count - 1 - j;  // small is ascending
+      values[j] = small.values[src];
+      for (std::size_t i = 0; i < count; ++i)
+        rotation(i, j) = small.vectors(i, src);
+    }
+    ritz = matmul(basis, rotation);
+
+    double change = 0.0;
+    for (std::size_t j = 0; j < count; ++j)
+      change = std::max(change, std::abs(values[j] - previous[j]));
+    previous = values;
+    if (change <= tolerance * (1.0 + std::abs(values[0]))) {
+      result.values = values;
+      result.vectors = ritz;
+      return result;
+    }
+    q = matmul(ab, rotation);  // power step toward the dominant subspace
+  }
+  result.values = previous;
+  result.vectors = ritz;
+  return result;
+}
+
+}  // namespace vmap::linalg

@@ -1,0 +1,35 @@
+#pragma once
+// Symmetric eigendecomposition (cyclic Jacobi).
+//
+// Jacobi rotations are slow-but-bulletproof: unconditionally convergent on
+// symmetric matrices and accurate for the moderately sized (hundreds of
+// rows) covariance/correlation matrices the placement tooling analyzes —
+// PCA leverage scores, spatial correlation spectra, solver conditioning
+// diagnostics.
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace vmap::linalg {
+
+/// Eigenpairs of a symmetric matrix.
+struct SymmetricEigen {
+  Vector values;   ///< ascending
+  Matrix vectors;  ///< column j is the eigenvector of values[j]; orthonormal
+};
+
+/// Decomposes symmetric `a` (the strictly-upper triangle is trusted to
+/// mirror the lower). Converges when all off-diagonal mass is below
+/// `tolerance` relative to the Frobenius norm.
+SymmetricEigen symmetric_eigen(const Matrix& a, double tolerance = 1e-12,
+                               std::size_t max_sweeps = 64);
+
+/// Top `count` eigenpairs (largest eigenvalues) of a symmetric PSD matrix
+/// via Rayleigh–Ritz subspace iteration — O(n²·count) per iteration, the
+/// right tool for leverage scores on large correlation matrices where full
+/// Jacobi would be cubic. Values descending in the result.
+SymmetricEigen top_symmetric_eigen(const Matrix& a, std::size_t count,
+                                   double tolerance = 1e-8,
+                                   std::size_t max_iterations = 300);
+
+}  // namespace vmap::linalg

@@ -1,0 +1,225 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace vmap::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    VMAP_REQUIRE(row.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix eye(n, n);
+  for (std::size_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  return eye;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  VMAP_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  VMAP_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return (*this)(r, c);
+}
+
+Vector Matrix::row(std::size_t r) const {
+  VMAP_REQUIRE(r < rows_, "row index out of range");
+  Vector v(cols_);
+  const double* src = row_data(r);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = src[c];
+  return v;
+}
+
+Vector Matrix::col(std::size_t c) const {
+  VMAP_REQUIRE(c < cols_, "column index out of range");
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::set_row(std::size_t r, const Vector& v) {
+  VMAP_REQUIRE(r < rows_ && v.size() == cols_, "set_row shape mismatch");
+  double* dst = row_data(r);
+  for (std::size_t c = 0; c < cols_; ++c) dst[c] = v[c];
+}
+
+void Matrix::set_col(std::size_t c, const Vector& v) {
+  VMAP_REQUIRE(c < cols_ && v.size() == rows_, "set_col shape mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  VMAP_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+               "matrix shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  VMAP_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+               "matrix shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+double Matrix::norm_frobenius() const {
+  return std::sqrt(norm_frobenius_squared());
+}
+
+double Matrix::norm_frobenius_squared() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return acc;
+}
+
+double Matrix::norm_max() const {
+  double acc = 0.0;
+  for (double v : data_) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+void Matrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& row_indices) const {
+  Matrix out(row_indices.size(), cols_);
+  for (std::size_t i = 0; i < row_indices.size(); ++i) {
+    VMAP_REQUIRE(row_indices[i] < rows_, "select_rows index out of range");
+    const double* src = row_data(row_indices[i]);
+    double* dst = out.row_data(i);
+    std::copy(src, src + cols_, dst);
+  }
+  return out;
+}
+
+Matrix Matrix::select_cols(const std::vector<std::size_t>& col_indices) const {
+  Matrix out(rows_, col_indices.size());
+  for (std::size_t j = 0; j < col_indices.size(); ++j)
+    VMAP_REQUIRE(col_indices[j] < cols_, "select_cols index out of range");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* src = row_data(r);
+    double* dst = out.row_data(r);
+    for (std::size_t j = 0; j < col_indices.size(); ++j)
+      dst[j] = src[col_indices[j]];
+  }
+  return out;
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Matrix operator-(Matrix lhs, const Matrix& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Matrix operator*(Matrix m, double s) {
+  m *= s;
+  return m;
+}
+
+Matrix operator*(double s, Matrix m) {
+  m *= s;
+  return m;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  VMAP_REQUIRE(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order: both inner accesses stream along rows (cache friendly).
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row_data(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  VMAP_REQUIRE(a.rows() == b.rows(), "matmul_at_b dimension mismatch");
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row_data(k);
+    const double* brow = b.row_data(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.row_data(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  VMAP_REQUIRE(a.cols() == b.cols(), "matmul_a_bt dimension mismatch");
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row_data(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  VMAP_REQUIRE(a.cols() == x.size(), "matvec dimension mismatch");
+  Vector y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += arow[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Vector matvec_t(const Matrix& a, const Vector& x) {
+  VMAP_REQUIRE(a.rows() == x.size(), "matvec_t dimension mismatch");
+  Vector y(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += arow[j] * xi;
+  }
+  return y;
+}
+
+}  // namespace vmap::linalg

@@ -1,0 +1,97 @@
+#pragma once
+// Dense row-major matrix with value semantics and the kernels the vmap
+// statistical core needs: GEMM-style products, transposed products,
+// row/column views as copies, and norms.
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace vmap::linalg {
+
+/// Dense double-precision matrix, row-major.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero-initialized rows x cols matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  /// Construct from nested initializer list; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  double* row_data(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_data(std::size_t r) const {
+    return data_.data() + r * cols_;
+  }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Copies of a row / column as vectors.
+  Vector row(std::size_t r) const;
+  Vector col(std::size_t c) const;
+  void set_row(std::size_t r, const Vector& v);
+  void set_col(std::size_t c, const Vector& v);
+
+  Matrix transposed() const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  /// Frobenius norm.
+  double norm_frobenius() const;
+  double norm_frobenius_squared() const;
+  /// Largest absolute entry.
+  double norm_max() const;
+
+  void fill(double value);
+
+  /// Extract the submatrix formed by the given rows (in order).
+  Matrix select_rows(const std::vector<std::size_t>& row_indices) const;
+  /// Extract the submatrix formed by the given columns (in order).
+  Matrix select_cols(const std::vector<std::size_t>& col_indices) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(Matrix m, double s);
+Matrix operator*(double s, Matrix m);
+
+/// C = A * B. Inner dimensions must agree.
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A^T * B without materializing A^T.
+Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+/// C = A * B^T without materializing B^T.
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+/// y = A * x.
+Vector matvec(const Matrix& a, const Vector& x);
+/// y = A^T * x.
+Vector matvec_t(const Matrix& a, const Vector& x);
+
+}  // namespace vmap::linalg

@@ -1,0 +1,100 @@
+#include "linalg/stats.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace vmap::linalg {
+
+Vector row_means(const Matrix& data) {
+  VMAP_REQUIRE(data.cols() > 0, "row_means needs at least one sample");
+  Vector mu(data.rows());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    const double* row = data.row_data(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < data.cols(); ++c) acc += row[c];
+    mu[r] = acc / static_cast<double>(data.cols());
+  }
+  return mu;
+}
+
+Vector row_stddevs(const Matrix& data) {
+  VMAP_REQUIRE(data.cols() > 1, "row_stddevs needs at least two samples");
+  Vector mu = row_means(data);
+  Vector sd(data.rows());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    const double* row = data.row_data(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      const double d = row[c] - mu[r];
+      acc += d * d;
+    }
+    sd[r] = std::sqrt(acc / static_cast<double>(data.cols() - 1));
+  }
+  return sd;
+}
+
+Matrix covariance(const Matrix& data) {
+  VMAP_REQUIRE(data.cols() > 1, "covariance needs at least two samples");
+  const std::size_t p = data.rows();
+  const std::size_t n = data.cols();
+  Vector mu = row_means(data);
+  // Center once, then form (1/(n-1)) D D^T.
+  Matrix centered(p, n);
+  for (std::size_t r = 0; r < p; ++r) {
+    const double* src = data.row_data(r);
+    double* dst = centered.row_data(r);
+    for (std::size_t c = 0; c < n; ++c) dst[c] = src[c] - mu[r];
+  }
+  Matrix cov = matmul_a_bt(centered, centered);
+  cov *= 1.0 / static_cast<double>(n - 1);
+  return cov;
+}
+
+Matrix correlation(const Matrix& data) {
+  Matrix cov = covariance(data);
+  const std::size_t p = cov.rows();
+  Vector sd(p);
+  for (std::size_t i = 0; i < p; ++i) sd[i] = std::sqrt(cov(i, i));
+  Matrix corr(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      const double denom = sd[i] * sd[j];
+      corr(i, j) = denom > 0.0 ? cov(i, j) / denom : 0.0;
+    }
+    if (sd[i] > 0.0) corr(i, i) = 1.0;
+  }
+  return corr;
+}
+
+double pearson(const Vector& a, const Vector& b) {
+  VMAP_REQUIRE(a.size() == b.size() && a.size() > 1,
+               "pearson needs two equal-length samples of size >= 2");
+  const double ma = a.mean();
+  const double mb = b.mean();
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  const double denom = std::sqrt(saa * sbb);
+  return denom > 0.0 ? sab / denom : 0.0;
+}
+
+Moments moments(const Vector& sample) {
+  VMAP_REQUIRE(sample.size() > 1, "moments needs at least two samples");
+  Moments m;
+  m.mean = sample.mean();
+  double acc = 0.0;
+  for (double v : sample) {
+    const double d = v - m.mean;
+    acc += d * d;
+  }
+  m.variance = acc / static_cast<double>(sample.size() - 1);
+  return m;
+}
+
+}  // namespace vmap::linalg

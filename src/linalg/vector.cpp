@@ -1,0 +1,114 @@
+#include "linalg/vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace vmap::linalg {
+
+double& Vector::at(std::size_t i) {
+  VMAP_REQUIRE(i < data_.size(), "vector index out of range");
+  return data_[i];
+}
+
+double Vector::at(std::size_t i) const {
+  VMAP_REQUIRE(i < data_.size(), "vector index out of range");
+  return data_[i];
+}
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  VMAP_REQUIRE(size() == rhs.size(), "vector size mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  VMAP_REQUIRE(size() == rhs.size(), "vector size mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Vector& Vector::operator/=(double s) {
+  VMAP_REQUIRE(s != 0.0, "division by zero scalar");
+  for (double& v : data_) v /= s;
+  return *this;
+}
+
+double Vector::norm2() const { return std::sqrt(norm2_squared()); }
+
+double Vector::norm2_squared() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return acc;
+}
+
+double Vector::norm_inf() const {
+  double acc = 0.0;
+  for (double v : data_) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+double Vector::sum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+double Vector::mean() const {
+  VMAP_REQUIRE(!data_.empty(), "mean of empty vector");
+  return sum() / static_cast<double>(data_.size());
+}
+
+double Vector::min() const {
+  VMAP_REQUIRE(!data_.empty(), "min of empty vector");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Vector::max() const {
+  VMAP_REQUIRE(!data_.empty(), "max of empty vector");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+void Vector::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Vector operator+(Vector lhs, const Vector& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Vector operator-(Vector lhs, const Vector& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Vector operator*(Vector v, double s) {
+  v *= s;
+  return v;
+}
+
+Vector operator*(double s, Vector v) {
+  v *= s;
+  return v;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  VMAP_REQUIRE(a.size() == b.size(), "vector size mismatch in dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(double s, const Vector& x, Vector& y) {
+  VMAP_REQUIRE(x.size() == y.size(), "vector size mismatch in axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += s * x[i];
+}
+
+}  // namespace vmap::linalg

@@ -1,0 +1,195 @@
+#include "sparse/cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace vmap::sparse {
+
+Preconditioner identity_preconditioner() {
+  return [](const linalg::Vector& r) { return r; };
+}
+
+Preconditioner jacobi_preconditioner(const CsrMatrix& a) {
+  linalg::Vector diag = a.diagonal();
+  for (std::size_t i = 0; i < diag.size(); ++i)
+    VMAP_REQUIRE(diag[i] > 0.0, "Jacobi preconditioner needs positive diagonal");
+  return [diag](const linalg::Vector& r) {
+    linalg::Vector z(r.size());
+    for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i] / diag[i];
+    return z;
+  };
+}
+
+namespace {
+/// Lower-triangular CSR factor for IC(0).
+struct IcFactor {
+  std::vector<std::size_t> row_ptr;
+  std::vector<std::size_t> col_idx;  // strictly increasing per row, ends at diag
+  std::vector<double> values;
+  std::size_t n = 0;
+};
+
+/// Builds IC(0): L with the sparsity of tril(A), L L^T ≈ A.
+/// If a pivot goes non-positive, restarts with a larger diagonal shift.
+IcFactor build_ic0(const CsrMatrix& a) {
+  const std::size_t n = a.rows();
+  IcFactor f;
+  f.n = n;
+  f.row_ptr.assign(n + 1, 0);
+
+  // Extract the lower triangle (including diagonal).
+  const auto& arp = a.row_ptr();
+  const auto& aci = a.col_idx();
+  const auto& av = a.values();
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t k = arp[r]; k < arp[r + 1]; ++k)
+      if (aci[k] <= r) ++f.row_ptr[r + 1];
+  for (std::size_t r = 0; r < n; ++r) f.row_ptr[r + 1] += f.row_ptr[r];
+  f.col_idx.resize(f.row_ptr[n]);
+  f.values.resize(f.row_ptr[n]);
+  {
+    std::vector<std::size_t> cursor(f.row_ptr.begin(), f.row_ptr.end() - 1);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t k = arp[r]; k < arp[r + 1]; ++k) {
+        if (aci[k] <= r) {
+          f.col_idx[cursor[r]] = aci[k];
+          f.values[cursor[r]] = av[k];
+          ++cursor[r];
+        }
+      }
+    }
+  }
+
+  const std::vector<double> original = f.values;
+  double shift = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    f.values = original;
+    if (shift > 0.0) {
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::size_t dk = f.row_ptr[r + 1] - 1;
+        f.values[dk] *= (1.0 + shift);
+      }
+    }
+    bool ok = true;
+    // Row-oriented IC(0): for each row i, update against previous rows that
+    // share pattern, restricted to tril(A)'s sparsity.
+    for (std::size_t i = 0; i < n && ok; ++i) {
+      for (std::size_t ki = f.row_ptr[i]; ki < f.row_ptr[i + 1]; ++ki) {
+        const std::size_t j = f.col_idx[ki];
+        double acc = f.values[ki];
+        // Dot of rows i and j over columns < j (two-pointer sweep).
+        std::size_t pi = f.row_ptr[i], pj = f.row_ptr[j];
+        while (pi < f.row_ptr[i + 1] && pj < f.row_ptr[j + 1]) {
+          const std::size_t ci = f.col_idx[pi];
+          const std::size_t cj = f.col_idx[pj];
+          if (ci >= j || cj >= j) break;
+          if (ci == cj) {
+            acc -= f.values[pi] * f.values[pj];
+            ++pi;
+            ++pj;
+          } else if (ci < cj) {
+            ++pi;
+          } else {
+            ++pj;
+          }
+        }
+        if (j == i) {
+          if (acc <= 0.0) {
+            ok = false;
+            break;
+          }
+          f.values[ki] = std::sqrt(acc);
+        } else {
+          const std::size_t dj = f.row_ptr[j + 1] - 1;
+          f.values[ki] = acc / f.values[dj];
+        }
+      }
+    }
+    if (ok) return f;
+    shift = shift == 0.0 ? 1e-3 : shift * 10.0;
+    VMAP_LOG(kDebug) << "IC(0) pivot failure; retrying with shift " << shift;
+  }
+  throw ContractError("IC(0) failed even with diagonal shifting");
+}
+
+linalg::Vector ic_solve(const IcFactor& f, const linalg::Vector& r) {
+  const std::size_t n = f.n;
+  linalg::Vector y(n);
+  // Forward solve L y = r.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = r[i];
+    std::size_t k = f.row_ptr[i];
+    for (; k + 1 < f.row_ptr[i + 1]; ++k) acc -= f.values[k] * y[f.col_idx[k]];
+    y[i] = acc / f.values[k];  // k is the diagonal slot
+  }
+  // Backward solve L^T z = y (column saxpy).
+  for (std::size_t ii = n; ii-- > 0;) {
+    const std::size_t dk = f.row_ptr[ii + 1] - 1;
+    y[ii] /= f.values[dk];
+    const double yi = y[ii];
+    for (std::size_t k = f.row_ptr[ii]; k + 1 < f.row_ptr[ii + 1]; ++k)
+      y[f.col_idx[k]] -= f.values[k] * yi;
+  }
+  return y;
+}
+}  // namespace
+
+Preconditioner ic0_preconditioner(const CsrMatrix& a) {
+  VMAP_REQUIRE(a.rows() == a.cols(), "IC(0) requires a square matrix");
+  auto factor = std::make_shared<IcFactor>(build_ic0(a));
+  return [factor](const linalg::Vector& r) { return ic_solve(*factor, r); };
+}
+
+CgResult conjugate_gradient(const CsrMatrix& a, const linalg::Vector& b,
+                            const Preconditioner& m,
+                            const CgOptions& options) {
+  VMAP_REQUIRE(a.rows() == a.cols(), "CG requires a square matrix");
+  VMAP_REQUIRE(b.size() == a.rows(), "CG rhs size mismatch");
+
+  const std::size_t n = b.size();
+  CgResult result;
+  result.x = linalg::Vector(n);
+
+  linalg::Vector r = b;  // r = b - A*0
+  const double bnorm = b.norm2();
+  if (bnorm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  linalg::Vector z = m(r);
+  linalg::Vector p = z;
+  double rz = linalg::dot(r, z);
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    linalg::Vector ap = a.multiply(p);
+    const double pap = linalg::dot(p, ap);
+    VMAP_REQUIRE(pap > 0.0, "matrix is not positive definite in CG");
+    const double alpha = rz / pap;
+    linalg::axpy(alpha, p, result.x);
+    linalg::axpy(-alpha, ap, r);
+
+    result.iterations = it + 1;
+    result.relative_residual = r.norm2() / bnorm;
+    if (result.relative_residual < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+
+    z = m(r);
+    const double rz_next = linalg::dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  VMAP_LOG(kWarn) << "CG did not converge: rel residual "
+                  << result.relative_residual << " after "
+                  << result.iterations << " iterations";
+  return result;
+}
+
+}  // namespace vmap::sparse

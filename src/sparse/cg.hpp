@@ -1,0 +1,47 @@
+#pragma once
+// Preconditioned conjugate gradient for SPD systems.
+//
+// Serves two roles: an alternative to the direct skyline factorization for
+// very large grids, and an independent solver the tests use to cross-check
+// the direct path.
+
+#include <cstddef>
+#include <functional>
+
+#include "linalg/vector.hpp"
+#include "sparse/csr.hpp"
+
+namespace vmap::sparse {
+
+/// CG configuration and outcome.
+struct CgOptions {
+  std::size_t max_iterations = 2000;
+  double tolerance = 1e-10;  // relative residual ||r|| / ||b||
+};
+
+struct CgResult {
+  linalg::Vector x;
+  std::size_t iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Preconditioner interface: returns M^{-1} r for an SPD approximation M.
+using Preconditioner = std::function<linalg::Vector(const linalg::Vector&)>;
+
+/// Identity preconditioner (plain CG).
+Preconditioner identity_preconditioner();
+
+/// Jacobi (diagonal) preconditioner built from `a`; throws if a diagonal
+/// entry is not strictly positive.
+Preconditioner jacobi_preconditioner(const CsrMatrix& a);
+
+/// Incomplete Cholesky IC(0) preconditioner on the lower-triangular pattern
+/// of `a`. Falls back by raising the diagonal (shifted IC) if a pivot fails.
+Preconditioner ic0_preconditioner(const CsrMatrix& a);
+
+/// Solves A x = b for SPD A starting from x0 = 0.
+CgResult conjugate_gradient(const CsrMatrix& a, const linalg::Vector& b,
+                            const Preconditioner& m, const CgOptions& options);
+
+}  // namespace vmap::sparse

@@ -1,0 +1,97 @@
+#include "sparse/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace vmap::sparse {
+
+std::vector<std::size_t> reverse_cuthill_mckee(const CsrMatrix& a) {
+  VMAP_REQUIRE(a.rows() == a.cols(), "RCM requires a square matrix");
+  const std::size_t n = a.rows();
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+
+  std::vector<std::size_t> degree(n);
+  for (std::size_t i = 0; i < n; ++i) degree[i] = row_ptr[i + 1] - row_ptr[i];
+
+  std::vector<bool> visited(n, false);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+
+  // Vertices sorted by degree for deterministic start-vertex choice.
+  std::vector<std::size_t> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&](std::size_t x, std::size_t y) {
+              if (degree[x] != degree[y]) return degree[x] < degree[y];
+              return x < y;
+            });
+
+  std::vector<std::size_t> neighbors;
+  for (std::size_t start : by_degree) {
+    if (visited[start]) continue;
+    std::queue<std::size_t> frontier;
+    visited[start] = true;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const std::size_t u = frontier.front();
+      frontier.pop();
+      order.push_back(u);
+      neighbors.clear();
+      for (std::size_t k = row_ptr[u]; k < row_ptr[u + 1]; ++k) {
+        const std::size_t v = col_idx[k];
+        if (v != u && !visited[v]) {
+          visited[v] = true;
+          neighbors.push_back(v);
+        }
+      }
+      std::sort(neighbors.begin(), neighbors.end(),
+                [&](std::size_t x, std::size_t y) {
+                  if (degree[x] != degree[y]) return degree[x] < degree[y];
+                  return x < y;
+                });
+      for (std::size_t v : neighbors) frontier.push(v);
+    }
+  }
+  VMAP_ASSERT(order.size() == n, "RCM must visit every vertex");
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<std::size_t> invert_permutation(
+    const std::vector<std::size_t>& p) {
+  std::vector<std::size_t> inv(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    VMAP_REQUIRE(p[i] < p.size(), "permutation entry out of range");
+    inv[p[i]] = i;
+  }
+  return inv;
+}
+
+std::size_t bandwidth(const CsrMatrix& a,
+                      const std::vector<std::size_t>& perm) {
+  VMAP_REQUIRE(perm.size() == a.rows(), "permutation size mismatch");
+  const auto inv = invert_permutation(perm);
+  std::size_t bw = 0;
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const std::size_t i = inv[r];
+      const std::size_t j = inv[col_idx[k]];
+      bw = std::max(bw, i > j ? i - j : j - i);
+    }
+  }
+  return bw;
+}
+
+std::vector<std::size_t> identity_permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), 0);
+  return p;
+}
+
+}  // namespace vmap::sparse

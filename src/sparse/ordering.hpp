@@ -1,0 +1,29 @@
+#pragma once
+// Fill-reducing / bandwidth-reducing orderings for symmetric sparse matrices.
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace vmap::sparse {
+
+/// Reverse Cuthill–McKee ordering of a symmetric matrix's graph.
+///
+/// Returns a permutation `perm` such that new index i corresponds to old
+/// index perm[i]. Minimizing bandwidth this way makes the envelope
+/// (skyline) Cholesky factor compact for mesh-like power grids.
+/// Disconnected components are handled by restarting from the lowest-degree
+/// unvisited vertex.
+std::vector<std::size_t> reverse_cuthill_mckee(const CsrMatrix& a);
+
+/// Inverse permutation: inv[perm[i]] = i.
+std::vector<std::size_t> invert_permutation(const std::vector<std::size_t>& p);
+
+/// Bandwidth of `a` under permutation `perm` (max |i - j| over entries).
+std::size_t bandwidth(const CsrMatrix& a, const std::vector<std::size_t>& perm);
+
+/// The identity permutation of size n.
+std::vector<std::size_t> identity_permutation(std::size_t n);
+
+}  // namespace vmap::sparse

@@ -1,0 +1,55 @@
+#pragma once
+// Lightweight contract checking for the vmap libraries.
+//
+// VMAP_REQUIRE  — precondition on public API arguments; always enabled.
+//                 Violations throw vmap::ContractError so callers (and tests)
+//                 can observe misuse without aborting the process.
+// VMAP_ASSERT   — internal invariant; enabled unless VMAP_NDEBUG_ASSERTS is
+//                 defined. Violations also throw, carrying file/line context.
+//
+// Throwing (rather than std::abort) keeps the libraries testable: the test
+// suite asserts that bad inputs are rejected with a diagnosable error.
+
+#include <stdexcept>
+#include <string>
+
+namespace vmap {
+
+/// Error thrown when a precondition or internal invariant is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::string full = std::string(kind) + " failed: " + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw ContractError(full);
+}
+}  // namespace detail
+
+}  // namespace vmap
+
+#define VMAP_REQUIRE(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::vmap::detail::contract_fail("precondition", #expr, __FILE__,        \
+                                    __LINE__, (msg));                       \
+  } while (false)
+
+#ifndef VMAP_NDEBUG_ASSERTS
+#define VMAP_ASSERT(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::vmap::detail::contract_fail("invariant", #expr, __FILE__, __LINE__, \
+                                    (msg));                                 \
+  } while (false)
+#else
+#define VMAP_ASSERT(expr, msg) \
+  do {                         \
+  } while (false)
+#endif

@@ -1,0 +1,110 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace vmap {
+
+CliArgs::CliArgs(std::string program_help)
+    : program_help_(std::move(program_help)) {}
+
+void CliArgs::add_flag(const std::string& name,
+                       const std::string& default_value,
+                       const std::string& help) {
+  VMAP_REQUIRE(!flags_.count(name), "duplicate flag registration: " + name);
+  flags_[name] = Flag{default_value, help, /*is_bool=*/false};
+}
+
+void CliArgs::add_bool(const std::string& name, bool default_value,
+                       const std::string& help) {
+  VMAP_REQUIRE(!flags_.count(name), "duplicate flag registration: " + name);
+  flags_[name] = Flag{default_value ? "true" : "false", help, /*is_bool=*/true};
+}
+
+bool CliArgs::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0)
+      throw std::runtime_error("unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+
+    std::string name = arg, value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+      throw std::runtime_error("unknown flag: --" + name);
+    if (it->second.is_bool) {
+      it->second.value = has_value ? value : "true";
+      if (it->second.value != "true" && it->second.value != "false")
+        throw std::runtime_error("boolean flag --" + name +
+                                 " expects true/false");
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc)
+          throw std::runtime_error("flag --" + name + " expects a value");
+        value = argv[++i];
+      }
+      it->second.value = value;
+    }
+  }
+  return true;
+}
+
+const CliArgs::Flag& CliArgs::find(const std::string& name) const {
+  auto it = flags_.find(name);
+  VMAP_REQUIRE(it != flags_.end(), "flag not registered: " + name);
+  return it->second;
+}
+
+std::string CliArgs::get(const std::string& name) const {
+  return find(name).value;
+}
+
+double CliArgs::get_double(const std::string& name) const {
+  const std::string& v = find(name).value;
+  try {
+    std::size_t pos = 0;
+    double d = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return d;
+  } catch (const std::exception&) {
+    throw std::runtime_error("flag --" + name + " is not a number: " + v);
+  }
+}
+
+std::int64_t CliArgs::get_int(const std::string& name) const {
+  const std::string& v = find(name).value;
+  try {
+    std::size_t pos = 0;
+    long long i = std::stoll(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return i;
+  } catch (const std::exception&) {
+    throw std::runtime_error("flag --" + name + " is not an integer: " + v);
+  }
+}
+
+bool CliArgs::get_bool(const std::string& name) const {
+  return find(name).value == "true";
+}
+
+void CliArgs::print_help() const {
+  std::printf("%s\n\nFlags:\n", program_help_.c_str());
+  for (const auto& [name, flag] : flags_) {
+    std::printf("  --%-24s %s (default: %s)\n", name.c_str(),
+                flag.help.c_str(), flag.value.c_str());
+  }
+}
+
+}  // namespace vmap

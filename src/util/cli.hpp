@@ -1,0 +1,48 @@
+#pragma once
+// Tiny command-line flag parser shared by benches and examples.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag`. Unknown
+// flags are an error so typos do not silently fall back to defaults.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vmap {
+
+/// Declarative flag set: register flags with defaults, then parse argv.
+class CliArgs {
+ public:
+  /// `program_help` is printed for --help.
+  explicit CliArgs(std::string program_help);
+
+  /// Registers a flag with a default and a help string.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+  void add_bool(const std::string& name, bool default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (help printed).
+  /// Throws std::runtime_error for unknown flags or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+    bool is_bool = false;
+  };
+  const Flag& find(const std::string& name) const;
+  void print_help() const;
+
+  std::string program_help_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace vmap

@@ -1,0 +1,48 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace vmap {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  VMAP_REQUIRE(!header.empty(), "csv needs at least one column");
+  if (!out_) throw std::runtime_error("cannot open csv file: " + path);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  VMAP_REQUIRE(values.size() == columns_, "csv row width mismatch");
+  char buf[64];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    std::snprintf(buf, sizeof(buf), "%.9g", values[i]);
+    out_ << buf;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  VMAP_REQUIRE(cells.size() == columns_, "csv row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+}
+
+}  // namespace vmap

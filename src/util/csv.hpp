@@ -1,0 +1,33 @@
+#pragma once
+// CSV emission for experiment artifacts.
+//
+// Benches optionally dump their series to CSV (e.g. Fig. 2 voltage traces)
+// so they can be re-plotted outside the repo.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace vmap {
+
+/// Streams rows of doubles/strings into a CSV file; throws on I/O failure.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header line.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<double>& values);
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Flushes and closes; called by the destructor as well.
+  void close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace vmap

@@ -1,0 +1,45 @@
+#pragma once
+// Minimal leveled logging to stderr.
+//
+// The libraries themselves log sparingly (solver convergence warnings,
+// experiment progress); benches and examples set the level explicitly.
+
+#include <sstream>
+#include <string>
+
+namespace vmap {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: VMAP_LOG(kInfo) << "solved in " << iters;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::log_emit(level_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace vmap
+
+#define VMAP_LOG(level) ::vmap::LogLine(::vmap::LogLevel::level)

@@ -1,0 +1,75 @@
+#pragma once
+// Deterministic, seedable random number generation for all vmap experiments.
+//
+// Everything that uses randomness (workload synthesis, training-sample
+// selection, property tests) goes through vmap::Rng so an experiment is fully
+// reproducible from its seed. The generator is xoshiro256++ — fast, tiny
+// state, and excellent statistical quality; we deliberately avoid
+// std::mt19937 to keep the stream identical across standard libraries.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace vmap {
+
+/// xoshiro256++ pseudo-random generator with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be plugged into
+/// <random> distributions when needed, but the built-in methods below are
+/// preferred: they are stable across platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the stream via SplitMix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box–Muller (cached spare).
+  double normal();
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma);
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+  /// Exponential with rate lambda > 0.
+  double exponential(double lambda);
+
+  /// Fisher–Yates shuffle of a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Derive an independent child stream (for per-benchmark determinism that
+  /// does not depend on call order elsewhere).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace vmap

@@ -1,0 +1,28 @@
+#pragma once
+// Wall-clock timing helper for benches and progress reporting.
+
+#include <chrono>
+
+namespace vmap {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace vmap

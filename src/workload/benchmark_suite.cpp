@@ -1,0 +1,428 @@
+#include "workload/benchmark_suite.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace vmap::workload {
+
+// Behavioural diversity lives mostly in the *dynamics* (phase structure,
+// gating statistics, burst shape, cross-core correlation); the average
+// activity bands are kept fairly narrow so every benchmark exercises the
+// same emergency threshold meaningfully (the paper's per-benchmark error
+// rates imply comparable emergency base rates across the suite).
+std::vector<BenchmarkProfile> parsec_like_suite() {
+  std::vector<BenchmarkProfile> suite;
+  auto add = [&suite](BenchmarkProfile p) { suite.push_back(std::move(p)); };
+
+  // Compute-bound, steady phases, aggressive clock gating between options.
+  add({.name = "bm01.blackscholes",
+       .compute_intensity = 1.25,
+       .memory_intensity = 0.85,
+       .duty = 0.64,
+       .phase_period = 350,
+       .phase_depth = 0.25,
+       .gating_rate = 0.005,
+       .gating_depth = 0.92,
+       .mean_gated_steps = 50,
+       .burst_rate = 0.010,
+       .burst_gain = 2.3,
+       .mean_burst_steps = 5,
+       .noise_sigma = 0.05,
+       .noise_rho = 0.70,
+       .core_correlation = 0.60,
+       .wake_inrush_gain = 2.0,
+       .wake_inrush_steps = 3});
+  // Vision pipeline: bursty EXE with moderate memory.
+  add({.name = "bm02.bodytrack",
+       .compute_intensity = 1.15,
+       .memory_intensity = 0.95,
+       .duty = 0.61,
+       .phase_period = 500,
+       .phase_depth = 0.35,
+       .gating_rate = 0.004,
+       .gating_depth = 0.88,
+       .mean_gated_steps = 70,
+       .burst_rate = 0.013,
+       .burst_gain = 2.1,
+       .mean_burst_steps = 7,
+       .noise_sigma = 0.06,
+       .noise_rho = 0.65,
+       .core_correlation = 0.45,
+       .wake_inrush_gain = 1.8,
+       .wake_inrush_steps = 3});
+  // Cache-hostile annealing: memory-dominant, irregular.
+  add({.name = "bm03.canneal",
+       .compute_intensity = 0.90,
+       .memory_intensity = 1.25,
+       .duty = 0.60,
+       .phase_period = 800,
+       .phase_depth = 0.20,
+       .gating_rate = 0.006,
+       .gating_depth = 0.85,
+       .mean_gated_steps = 90,
+       .burst_rate = 0.008,
+       .burst_gain = 2.2,
+       .mean_burst_steps = 9,
+       .noise_sigma = 0.07,
+       .noise_rho = 0.80,
+       .core_correlation = 0.30,
+       .wake_inrush_gain = 1.9,
+       .wake_inrush_steps = 4});
+  // Pipelined dedup: alternating compute/memory phases.
+  add({.name = "bm04.dedup",
+       .compute_intensity = 1.05,
+       .memory_intensity = 1.10,
+       .duty = 0.62,
+       .phase_period = 300,
+       .phase_depth = 0.45,
+       .gating_rate = 0.007,
+       .gating_depth = 0.90,
+       .mean_gated_steps = 40,
+       .burst_rate = 0.016,
+       .burst_gain = 2.4,
+       .mean_burst_steps = 5,
+       .noise_sigma = 0.06,
+       .noise_rho = 0.70,
+       .core_correlation = 0.55,
+       .wake_inrush_gain = 2.1,
+       .wake_inrush_steps = 3});
+  // Physics solve: FP heavy, long smooth phases.
+  add({.name = "bm05.facesim",
+       .compute_intensity = 1.30,
+       .memory_intensity = 0.90,
+       .duty = 0.65,
+       .phase_period = 900,
+       .phase_depth = 0.30,
+       .gating_rate = 0.003,
+       .gating_depth = 0.93,
+       .mean_gated_steps = 120,
+       .burst_rate = 0.009,
+       .burst_gain = 2.0,
+       .mean_burst_steps = 6,
+       .noise_sigma = 0.04,
+       .noise_rho = 0.75,
+       .core_correlation = 0.65,
+       .wake_inrush_gain = 1.7,
+       .wake_inrush_steps = 2});
+  // Similarity search: mixed, highly threaded, weak correlation.
+  add({.name = "bm06.ferret",
+       .compute_intensity = 1.05,
+       .memory_intensity = 1.05,
+       .duty = 0.59,
+       .phase_period = 450,
+       .phase_depth = 0.40,
+       .gating_rate = 0.009,
+       .gating_depth = 0.95,
+       .mean_gated_steps = 35,
+       .burst_rate = 0.018,
+       .burst_gain = 2.6,
+       .mean_burst_steps = 4,
+       .noise_sigma = 0.07,
+       .noise_rho = 0.60,
+       .core_correlation = 0.25,
+       .wake_inrush_gain = 2.2,
+       .wake_inrush_steps = 3});
+  // SPH fluid: FP + memory, synchronized barriers (high correlation).
+  add({.name = "bm07.fluidanimate",
+       .compute_intensity = 1.20,
+       .memory_intensity = 1.00,
+       .duty = 0.66,
+       .phase_period = 250,
+       .phase_depth = 0.50,
+       .gating_rate = 0.006,
+       .gating_depth = 0.90,
+       .mean_gated_steps = 45,
+       .burst_rate = 0.015,
+       .burst_gain = 2.3,
+       .mean_burst_steps = 6,
+       .noise_sigma = 0.06,
+       .noise_rho = 0.70,
+       .core_correlation = 0.80,
+       .wake_inrush_gain = 2.0,
+       .wake_inrush_steps = 3});
+  // Frequent itemset mining: integer heavy, phase-y.
+  add({.name = "bm08.freqmine",
+       .compute_intensity = 1.15,
+       .memory_intensity = 1.00,
+       .duty = 0.63,
+       .phase_period = 600,
+       .phase_depth = 0.35,
+       .gating_rate = 0.005,
+       .gating_depth = 0.88,
+       .mean_gated_steps = 60,
+       .burst_rate = 0.011,
+       .burst_gain = 2.2,
+       .mean_burst_steps = 6,
+       .noise_sigma = 0.05,
+       .noise_rho = 0.72,
+       .core_correlation = 0.50,
+       .wake_inrush_gain = 1.9,
+       .wake_inrush_steps = 3});
+  // Ray tracing: FP bursts, irregular memory.
+  add({.name = "bm09.raytrace",
+       .compute_intensity = 1.25,
+       .memory_intensity = 0.95,
+       .duty = 0.64,
+       .phase_period = 380,
+       .phase_depth = 0.30,
+       .gating_rate = 0.004,
+       .gating_depth = 0.90,
+       .mean_gated_steps = 55,
+       .burst_rate = 0.014,
+       .burst_gain = 2.3,
+       .mean_burst_steps = 5,
+       .noise_sigma = 0.06,
+       .noise_rho = 0.68,
+       .core_correlation = 0.40,
+       .wake_inrush_gain = 2.0,
+       .wake_inrush_steps = 3});
+  // Streaming clustering: memory streaming with periodic recluster spikes.
+  add({.name = "bm10.streamcluster",
+       .compute_intensity = 0.95,
+       .memory_intensity = 1.25,
+       .duty = 0.61,
+       .phase_period = 200,
+       .phase_depth = 0.55,
+       .gating_rate = 0.008,
+       .gating_depth = 0.92,
+       .mean_gated_steps = 30,
+       .burst_rate = 0.020,
+       .burst_gain = 2.5,
+       .mean_burst_steps = 4,
+       .noise_sigma = 0.06,
+       .noise_rho = 0.65,
+       .core_correlation = 0.70,
+       .wake_inrush_gain = 2.1,
+       .wake_inrush_steps = 3});
+  // Monte-Carlo swaption pricing: embarrassingly parallel FP.
+  add({.name = "bm11.swaptions",
+       .compute_intensity = 1.30,
+       .memory_intensity = 0.85,
+       .duty = 0.66,
+       .phase_period = 700,
+       .phase_depth = 0.15,
+       .gating_rate = 0.002,
+       .gating_depth = 0.90,
+       .mean_gated_steps = 100,
+       .burst_rate = 0.008,
+       .burst_gain = 2.1,
+       .mean_burst_steps = 7,
+       .noise_sigma = 0.04,
+       .noise_rho = 0.75,
+       .core_correlation = 0.20,
+       .wake_inrush_gain = 1.6,
+       .wake_inrush_steps = 2});
+  // Image pipeline: mixed with deep gating between stages.
+  add({.name = "bm12.vips",
+       .compute_intensity = 1.05,
+       .memory_intensity = 1.05,
+       .duty = 0.58,
+       .phase_period = 320,
+       .phase_depth = 0.40,
+       .gating_rate = 0.010,
+       .gating_depth = 0.94,
+       .mean_gated_steps = 40,
+       .burst_rate = 0.013,
+       .burst_gain = 2.3,
+       .mean_burst_steps = 5,
+       .noise_sigma = 0.06,
+       .noise_rho = 0.70,
+       .core_correlation = 0.50,
+       .wake_inrush_gain = 2.2,
+       .wake_inrush_steps = 3});
+  // Video encode: motion-estimation bursts, frame-periodic phases.
+  add({.name = "bm13.x264",
+       .compute_intensity = 1.20,
+       .memory_intensity = 1.00,
+       .duty = 0.63,
+       .phase_period = 160,
+       .phase_depth = 0.50,
+       .gating_rate = 0.008,
+       .gating_depth = 0.90,
+       .mean_gated_steps = 25,
+       .burst_rate = 0.024,
+       .burst_gain = 2.7,
+       .mean_burst_steps = 4,
+       .noise_sigma = 0.07,
+       .noise_rho = 0.60,
+       .core_correlation = 0.60,
+       .wake_inrush_gain = 2.1,
+       .wake_inrush_steps = 3});
+  // Large-input ("native") variants: same kernels, heavier memory systems
+  // and longer phases.
+  add({.name = "bm14.blackscholes.native",
+       .compute_intensity = 1.25,
+       .memory_intensity = 0.90,
+       .duty = 0.66,
+       .phase_period = 1000,
+       .phase_depth = 0.20,
+       .gating_rate = 0.003,
+       .gating_depth = 0.92,
+       .mean_gated_steps = 80,
+       .burst_rate = 0.009,
+       .burst_gain = 2.2,
+       .mean_burst_steps = 6,
+       .noise_sigma = 0.04,
+       .noise_rho = 0.75,
+       .core_correlation = 0.65,
+       .wake_inrush_gain = 1.9,
+       .wake_inrush_steps = 3});
+  add({.name = "bm15.canneal.native",
+       .compute_intensity = 0.90,
+       .memory_intensity = 1.30,
+       .duty = 0.61,
+       .phase_period = 1200,
+       .phase_depth = 0.25,
+       .gating_rate = 0.007,
+       .gating_depth = 0.86,
+       .mean_gated_steps = 110,
+       .burst_rate = 0.007,
+       .burst_gain = 2.3,
+       .mean_burst_steps = 10,
+       .noise_sigma = 0.08,
+       .noise_rho = 0.82,
+       .core_correlation = 0.30,
+       .wake_inrush_gain = 2.0,
+       .wake_inrush_steps = 4});
+  add({.name = "bm16.fluidanimate.native",
+       .compute_intensity = 1.20,
+       .memory_intensity = 1.05,
+       .duty = 0.67,
+       .phase_period = 420,
+       .phase_depth = 0.45,
+       .gating_rate = 0.005,
+       .gating_depth = 0.90,
+       .mean_gated_steps = 55,
+       .burst_rate = 0.013,
+       .burst_gain = 2.3,
+       .mean_burst_steps = 6,
+       .noise_sigma = 0.05,
+       .noise_rho = 0.72,
+       .core_correlation = 0.75,
+       .wake_inrush_gain = 2.0,
+       .wake_inrush_steps = 3});
+  add({.name = "bm17.streamcluster.native",
+       .compute_intensity = 0.95,
+       .memory_intensity = 1.30,
+       .duty = 0.62,
+       .phase_period = 260,
+       .phase_depth = 0.50,
+       .gating_rate = 0.009,
+       .gating_depth = 0.93,
+       .mean_gated_steps = 35,
+       .burst_rate = 0.018,
+       .burst_gain = 2.5,
+       .mean_burst_steps = 5,
+       .noise_sigma = 0.07,
+       .noise_rho = 0.66,
+       .core_correlation = 0.70,
+       .wake_inrush_gain = 2.1,
+       .wake_inrush_steps = 3});
+  add({.name = "bm18.x264.native",
+       .compute_intensity = 1.20,
+       .memory_intensity = 1.05,
+       .duty = 0.64,
+       .phase_period = 190,
+       .phase_depth = 0.55,
+       .gating_rate = 0.009,
+       .gating_depth = 0.91,
+       .mean_gated_steps = 28,
+       .burst_rate = 0.022,
+       .burst_gain = 2.6,
+       .mean_burst_steps = 4,
+       .noise_sigma = 0.07,
+       .noise_rho = 0.62,
+       .core_correlation = 0.60,
+       .wake_inrush_gain = 2.2,
+       .wake_inrush_steps = 3});
+  add({.name = "bm19.ferret.native",
+       .compute_intensity = 1.05,
+       .memory_intensity = 1.10,
+       .duty = 0.60,
+       .phase_period = 520,
+       .phase_depth = 0.42,
+       .gating_rate = 0.010,
+       .gating_depth = 0.95,
+       .mean_gated_steps = 40,
+       .burst_rate = 0.017,
+       .burst_gain = 2.5,
+       .mean_burst_steps = 4,
+       .noise_sigma = 0.07,
+       .noise_rho = 0.62,
+       .core_correlation = 0.30,
+       .wake_inrush_gain = 2.2,
+       .wake_inrush_steps = 3});
+
+  VMAP_ASSERT(suite.size() == 19, "suite must contain exactly 19 benchmarks");
+
+  // Suite-wide event calibration. Voltage emergencies should be
+  // *event-driven*: steady activity keeps the grid comfortably above the
+  // threshold, while a power-gated unit waking up (inrush) pulls its
+  // neighbourhood far below it. That bimodal droop distribution — most
+  // maps clearly safe, a ~0.3 fraction clearly in emergency — is what the
+  // paper's per-benchmark error rates imply; without it every crossing is
+  // marginal and no detector can work. The per-profile values above encode
+  // *relative* behaviour; these constants set absolute event density and
+  // depth.
+  constexpr double kGatingRateScale = 0.10;   // event density
+  constexpr double kBurstRateScale = 0.15;
+  constexpr double kInrushGainScale = 3.0;    // event depth (x nominal draw)
+  constexpr std::size_t kInrushExtraSteps = 3;
+  constexpr double kPhaseDepthScale = 0.6;    // baseline band width
+  constexpr double kNoiseSigmaScale = 0.7;
+  for (auto& profile : suite) {
+    profile.gating_rate *= kGatingRateScale;
+    profile.burst_rate *= kBurstRateScale;
+    profile.wake_inrush_gain *= kInrushGainScale;
+    profile.wake_inrush_steps += kInrushExtraSteps;
+    profile.phase_depth *= kPhaseDepthScale;
+    profile.noise_sigma *= kNoiseSigmaScale;
+  }
+  return suite;
+}
+
+std::size_t benchmark_index(const std::vector<BenchmarkProfile>& suite,
+                            const std::string& id) {
+  VMAP_REQUIRE(id.size() >= 3 && id.rfind("bm", 0) == 0,
+               "benchmark id must look like 'bm4' or 'bm12'");
+  const int n = std::stoi(id.substr(2));
+  VMAP_REQUIRE(n >= 1 && static_cast<std::size_t>(n) <= suite.size(),
+               "benchmark id out of range: " + id);
+  return static_cast<std::size_t>(n - 1);
+}
+
+std::uint64_t suite_hash(const std::vector<BenchmarkProfile>& suite) {
+  // FNV-1a over every profile's name bytes and numeric fields.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix_bytes = [&h](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= bytes[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  auto mix_double = [&](double v) { mix_bytes(&v, sizeof(v)); };
+  for (const auto& p : suite) {
+    mix_bytes(p.name.data(), p.name.size());
+    mix_double(p.compute_intensity);
+    mix_double(p.memory_intensity);
+    mix_double(p.duty);
+    mix_double(p.phase_period);
+    mix_double(p.phase_depth);
+    mix_double(p.gating_rate);
+    mix_double(p.gating_depth);
+    mix_double(p.mean_gated_steps);
+    mix_double(p.burst_rate);
+    mix_double(p.burst_gain);
+    mix_double(p.mean_burst_steps);
+    mix_double(p.noise_sigma);
+    mix_double(p.noise_rho);
+    mix_double(p.core_correlation);
+    mix_double(p.wake_inrush_gain);
+    mix_double(static_cast<double>(p.wake_inrush_steps));
+  }
+  return h;
+}
+
+}  // namespace vmap::workload

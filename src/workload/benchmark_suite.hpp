@@ -1,0 +1,53 @@
+#pragma once
+// The 19-benchmark synthetic workload suite.
+//
+// Substitutes for GEM5 + PARSEC 2.1 (see DESIGN.md §2): each profile is a
+// compact behavioural description — compute/memory intensity, program-phase
+// period, power-gating and di/dt-burst statistics, cross-core correlation —
+// from which ActivityGenerator synthesizes per-block current traces. The
+// mix is modeled after PARSEC's spread (compute-bound, memory-bound,
+// phase-heavy, irregular), with names matching the upstream benchmarks plus
+// large-input variants to reach the paper's 19 runs.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vmap::workload {
+
+/// Behavioural knobs of one benchmark.
+struct BenchmarkProfile {
+  std::string name;              ///< e.g. "bm03.canneal"
+  double compute_intensity = 1.0;  ///< scales EXE/FPU activity
+  double memory_intensity = 1.0;   ///< scales LSU/L2 activity
+  double duty = 0.6;               ///< average activity level in [0, 1]
+  double phase_period = 400;       ///< program-phase length (steps)
+  double phase_depth = 0.3;        ///< phase modulation amplitude in [0, 1)
+  double gating_rate = 0.004;      ///< per-step unit power-gating probability
+  double gating_depth = 0.9;       ///< fraction of unit current removed
+  double mean_gated_steps = 60;    ///< mean gated duration
+  double burst_rate = 0.01;        ///< per-step probability of a di/dt burst
+  double burst_gain = 1.8;         ///< activity multiplier during a burst
+  double mean_burst_steps = 6;     ///< mean burst duration
+  double noise_sigma = 0.08;       ///< AR(1) activity noise std-dev
+  double noise_rho = 0.7;          ///< AR(1) correlation
+  double core_correlation = 0.5;   ///< shared vs per-core phase mix in [0,1]
+  double wake_inrush_gain = 1.8;   ///< activity multiplier right after a
+                                   ///< power-gated unit wakes (di/dt inrush)
+  std::size_t wake_inrush_steps = 3;  ///< inrush duration
+};
+
+/// Deterministic hash of a suite's behavioural parameters; used to key the
+/// dataset cache so edits to the workload profiles force re-collection.
+std::uint64_t suite_hash(const std::vector<BenchmarkProfile>& suite);
+
+/// The fixed 19-entry suite used by all experiments. Deterministic.
+std::vector<BenchmarkProfile> parsec_like_suite();
+
+/// Index lookup by short id "bm1".."bm19" (1-based, case-sensitive).
+/// Throws if the id is unknown.
+std::size_t benchmark_index(const std::vector<BenchmarkProfile>& suite,
+                            const std::string& id);
+
+}  // namespace vmap::workload

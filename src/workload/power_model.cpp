@@ -1,0 +1,68 @@
+#include "workload/power_model.hpp"
+
+#include <algorithm>
+
+#include "grid/transient.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "workload/activity.hpp"
+
+namespace vmap::workload {
+
+PowerModel::PowerModel(const chip::Floorplan& floorplan, double current_scale,
+                       double leakage_density)
+    : floorplan_(floorplan),
+      scale_(current_scale),
+      leakage_(floorplan.grid().node_count()),
+      per_node_share_(floorplan.block_count(), 0.0) {
+  VMAP_REQUIRE(current_scale > 0.0, "current scale must be positive");
+  VMAP_REQUIRE(leakage_density >= 0.0, "leakage must be non-negative");
+  for (const auto& block : floorplan_.blocks()) {
+    VMAP_ASSERT(!block.nodes.empty(), "block without nodes");
+    per_node_share_[block.id] =
+        1.0 / static_cast<double>(block.nodes.size());
+    for (std::size_t node : block.nodes) leakage_[node] = leakage_density;
+  }
+}
+
+void PowerModel::to_node_currents(const linalg::Vector& block_activity,
+                                  linalg::Vector& node_currents) const {
+  VMAP_REQUIRE(block_activity.size() == floorplan_.block_count(),
+               "block activity size mismatch");
+  node_currents = leakage_;
+  for (const auto& block : floorplan_.blocks()) {
+    const double per_node = scale_ * block_activity[block.id] *
+                            per_node_share_[block.id];
+    for (std::size_t node : block.nodes) node_currents[node] += per_node;
+  }
+}
+
+double calibrate_current_scale(const grid::PowerGrid& grid,
+                               const chip::Floorplan& floorplan,
+                               const BenchmarkProfile& profile,
+                               double target_droop, double dt,
+                               std::size_t steps, std::uint64_t seed) {
+  VMAP_REQUIRE(target_droop > 0.0 && target_droop < grid.config().vdd,
+               "target droop must be within (0, VDD)");
+  VMAP_REQUIRE(steps > 0, "calibration needs at least one step");
+
+  PowerModel unit_model(floorplan, /*current_scale=*/1.0);
+  ActivityGenerator generator(floorplan, profile, Rng(seed));
+  grid::TransientSim sim(grid, dt);
+
+  linalg::Vector node_currents(grid.node_count());
+  double worst_droop = 0.0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    unit_model.to_node_currents(generator.step(), node_currents);
+    const auto& v = sim.step(node_currents);
+    worst_droop = std::max(worst_droop, grid.config().vdd - v.min());
+  }
+  VMAP_REQUIRE(worst_droop > 0.0,
+               "calibration run produced no droop; check the workload");
+  const double scale = target_droop / worst_droop;
+  VMAP_LOG(kInfo) << "calibrated current scale " << scale << " (unit droop "
+                  << worst_droop << " V over " << steps << " steps)";
+  return scale;
+}
+
+}  // namespace vmap::workload

@@ -1,0 +1,53 @@
+#pragma once
+// Block activity -> power-grid load currents (the McPAT substitute).
+//
+// Each block's activity level becomes a current draw spread uniformly over
+// the block's grid nodes, plus a small chip-wide leakage floor on all FA
+// nodes. The absolute current scale (amps per activity unit) is fixed by a
+// calibration run so that the worst transient droop lands at a chosen
+// depth — the linear grid makes droop exactly proportional to scale.
+
+#include <cstddef>
+
+#include "chip/floorplan.hpp"
+#include "grid/power_grid.hpp"
+#include "linalg/vector.hpp"
+#include "util/rng.hpp"
+#include "workload/benchmark_suite.hpp"
+
+namespace vmap::workload {
+
+/// Converts block activity vectors to per-node load-current vectors.
+class PowerModel {
+ public:
+  /// `current_scale` is in amps per activity unit per block;
+  /// `leakage_density` is a constant per-FA-node current (A).
+  PowerModel(const chip::Floorplan& floorplan, double current_scale,
+             double leakage_density = 0.0);
+
+  double current_scale() const { return scale_; }
+
+  /// Fills `node_currents` (size = grid nodes) from `block_activity`
+  /// (size = block count). Overwrites the output.
+  void to_node_currents(const linalg::Vector& block_activity,
+                        linalg::Vector& node_currents) const;
+
+ private:
+  const chip::Floorplan& floorplan_;
+  double scale_;
+  linalg::Vector leakage_;             // per-node constant term
+  std::vector<double> per_node_share_;  // 1/nodes-per-block, by block id
+};
+
+/// Calibrates the current scale: simulates `steps` steps of `profile` with
+/// unit scale, measures the deepest droop anywhere on the grid, and returns
+/// the scale that maps it to `target_droop` volts (e.g. 0.18 for a worst
+/// case of VDD - 0.18). Uses its own transient engine; deterministic in
+/// `seed`.
+double calibrate_current_scale(const grid::PowerGrid& grid,
+                               const chip::Floorplan& floorplan,
+                               const BenchmarkProfile& profile,
+                               double target_droop, double dt,
+                               std::size_t steps, std::uint64_t seed);
+
+}  // namespace vmap::workload

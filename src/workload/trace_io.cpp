@@ -1,0 +1,114 @@
+#include "workload/trace_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace vmap::workload {
+
+PowerTrace::PowerTrace(std::size_t blocks) : blocks_(blocks) {
+  VMAP_REQUIRE(blocks >= 1, "trace needs at least one block");
+}
+
+void PowerTrace::append(const linalg::Vector& activity) {
+  VMAP_REQUIRE(activity.size() == blocks_, "activity size mismatch");
+  data_.insert(data_.end(), activity.begin(), activity.end());
+}
+
+linalg::Vector PowerTrace::activity_at(std::size_t step) const {
+  VMAP_REQUIRE(step < steps(), "trace step out of range");
+  linalg::Vector out(blocks_);
+  const double* src = data_.data() + step * blocks_;
+  for (std::size_t b = 0; b < blocks_; ++b) out[b] = src[b];
+  return out;
+}
+
+double PowerTrace::at(std::size_t step, std::size_t block) const {
+  VMAP_REQUIRE(step < steps() && block < blocks_, "trace index out of range");
+  return data_[step * blocks_ + block];
+}
+
+PowerTrace PowerTrace::capture(ActivityGenerator& generator,
+                               std::size_t steps) {
+  VMAP_REQUIRE(steps >= 1, "capture needs at least one step");
+  PowerTrace trace(generator.current_activity().size());
+  for (std::size_t s = 0; s < steps; ++s) trace.append(generator.step());
+  return trace;
+}
+
+void PowerTrace::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace csv: " + path);
+  for (std::size_t b = 0; b < blocks_; ++b) {
+    if (b) out << ',';
+    out << "block_" << b;
+  }
+  out << '\n';
+  char buf[64];
+  for (std::size_t s = 0; s < steps(); ++s) {
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      if (b) out << ',';
+      std::snprintf(buf, sizeof(buf), "%.17g", data_[s * blocks_ + b]);
+      out << buf;
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("trace csv write failed: " + path);
+}
+
+PowerTrace PowerTrace::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read trace csv: " + path);
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error("trace csv is empty: " + path);
+  std::size_t blocks = 1;
+  for (char c : line)
+    if (c == ',') ++blocks;
+
+  PowerTrace trace(blocks);
+  linalg::Vector row(blocks);
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      if (!std::getline(ss, cell, ','))
+        throw std::runtime_error("trace csv row too short at line " +
+                                 std::to_string(line_no));
+      try {
+        row[b] = std::stod(cell);
+      } catch (const std::exception&) {
+        throw std::runtime_error("trace csv bad number at line " +
+                                 std::to_string(line_no) + ": " + cell);
+      }
+      VMAP_REQUIRE(row[b] >= 0.0, "trace activity must be non-negative");
+    }
+    if (std::getline(ss, cell, ','))
+      throw std::runtime_error("trace csv row too long at line " +
+                               std::to_string(line_no));
+    trace.append(row);
+  }
+  VMAP_REQUIRE(!trace.empty(), "trace csv contains no data rows");
+  return trace;
+}
+
+TracePlayer::TracePlayer(const PowerTrace& trace, bool loop)
+    : trace_(trace), loop_(loop), current_(trace.blocks()) {
+  VMAP_REQUIRE(!trace.empty(), "cannot play an empty trace");
+}
+
+const linalg::Vector& TracePlayer::step() {
+  if (position_ >= trace_.steps()) {
+    VMAP_REQUIRE(loop_, "trace exhausted (constructed with loop=false)");
+    position_ = 0;
+  }
+  current_ = trace_.activity_at(position_++);
+  return current_;
+}
+
+}  // namespace vmap::workload

@@ -1,0 +1,69 @@
+#pragma once
+// Per-block activity traces: capture, CSV interchange, playback.
+//
+// The synthetic ActivityGenerator is a stand-in for GEM5+McPAT power
+// traces. Teams with real traces can import them here (CSV: one column
+// per block, one row per time step) and drive the exact same collection
+// and placement pipeline; conversely, synthetic traces can be captured
+// and exported for inspection or external tooling.
+
+#include <cstddef>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "workload/activity.hpp"
+
+namespace vmap::workload {
+
+/// An immutable-once-built table of per-step block activity.
+class PowerTrace {
+ public:
+  /// Empty trace over `blocks` blocks.
+  explicit PowerTrace(std::size_t blocks);
+
+  std::size_t blocks() const { return blocks_; }
+  std::size_t steps() const { return data_.size() / blocks_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Appends one step of activity (size must equal blocks()).
+  void append(const linalg::Vector& activity);
+
+  /// Activity of one step (size blocks()).
+  linalg::Vector activity_at(std::size_t step) const;
+  /// Single entry access.
+  double at(std::size_t step, std::size_t block) const;
+
+  /// Captures `steps` steps from a generator.
+  static PowerTrace capture(ActivityGenerator& generator, std::size_t steps);
+
+  /// CSV interchange: header "block_0,...,block_{K-1}", one row per step.
+  void save_csv(const std::string& path) const;
+  static PowerTrace load_csv(const std::string& path);
+
+ private:
+  std::size_t blocks_;
+  std::vector<double> data_;  // row-major [step][block]
+};
+
+/// Plays a PowerTrace through the ActivityGenerator-shaped interface the
+/// data-collection loop expects.
+class TracePlayer {
+ public:
+  /// `loop`: wrap around at the end (otherwise stepping past the end
+  /// throws).
+  explicit TracePlayer(const PowerTrace& trace, bool loop = true);
+
+  /// Next step's activity.
+  const linalg::Vector& step();
+  std::size_t position() const { return position_; }
+  void rewind() { position_ = 0; }
+
+ private:
+  const PowerTrace& trace_;
+  bool loop_;
+  std::size_t position_ = 0;
+  linalg::Vector current_;
+};
+
+}  // namespace vmap::workload

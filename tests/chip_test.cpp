@@ -1,0 +1,275 @@
+// Floorplan invariants and critical-node selection tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "chip/critical_nodes.hpp"
+#include "chip/floorplan.hpp"
+#include "core/experiment.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace vmap::chip {
+namespace {
+
+grid::GridConfig test_grid_config() {
+  auto setup = core::small_setup();
+  return setup.grid;
+}
+
+FloorplanConfig test_floorplan_config() {
+  auto setup = core::small_setup();
+  return setup.floorplan;
+}
+
+class FloorplanTest : public ::testing::Test {
+ protected:
+  FloorplanTest()
+      : grid_(test_grid_config()), plan_(grid_, test_floorplan_config()) {}
+  grid::PowerGrid grid_;
+  Floorplan plan_;
+};
+
+TEST_F(FloorplanTest, CoreAndBlockCounts) {
+  EXPECT_EQ(plan_.core_count(), 2u);
+  EXPECT_EQ(plan_.blocks_per_core(), 30u);
+  EXPECT_EQ(plan_.block_count(), 60u);
+}
+
+TEST_F(FloorplanTest, BlocksDoNotOverlap) {
+  std::set<std::size_t> seen;
+  for (const auto& block : plan_.blocks()) {
+    for (std::size_t node : block.nodes) {
+      EXPECT_TRUE(seen.insert(node).second)
+          << "node " << node << " covered twice";
+    }
+  }
+}
+
+TEST_F(FloorplanTest, FaBaPartitionIsExactAndDisjoint) {
+  std::set<std::size_t> fa(plan_.fa_nodes().begin(), plan_.fa_nodes().end());
+  std::set<std::size_t> ba(plan_.ba_nodes().begin(), plan_.ba_nodes().end());
+  EXPECT_EQ(fa.size() + ba.size(), grid_.node_count());
+  for (std::size_t node : fa) EXPECT_EQ(ba.count(node), 0u);
+}
+
+TEST_F(FloorplanTest, NodeMembershipConsistent) {
+  for (const auto& block : plan_.blocks()) {
+    for (std::size_t node : block.nodes) {
+      EXPECT_TRUE(plan_.is_fa_node(node));
+      const auto owner = plan_.block_of_node(node);
+      ASSERT_TRUE(owner.has_value());
+      EXPECT_EQ(*owner, block.id);
+    }
+  }
+  for (std::size_t node : plan_.ba_nodes()) {
+    EXPECT_FALSE(plan_.is_fa_node(node));
+    EXPECT_FALSE(plan_.block_of_node(node).has_value());
+  }
+}
+
+TEST_F(FloorplanTest, EveryBlockHasNodesInsideItsRect) {
+  for (const auto& block : plan_.blocks()) {
+    EXPECT_FALSE(block.nodes.empty());
+    EXPECT_EQ(block.nodes.size(), block.tile_count());
+    for (std::size_t node : block.nodes) {
+      const auto [x, y] = grid_.node_xy(node);
+      EXPECT_GE(x, block.x0);
+      EXPECT_LT(x, block.x1);
+      EXPECT_GE(y, block.y0);
+      EXPECT_LT(y, block.y1);
+    }
+  }
+}
+
+TEST_F(FloorplanTest, UnitCompositionMatchesTemplate) {
+  // 4 IFU + 4 IDU + 6 EXE + 5 LSU + 4 FPU + 4 L2 + 3 MISC per core.
+  for (std::size_t core = 0; core < plan_.core_count(); ++core) {
+    std::map<UnitKind, int> histogram;
+    for (std::size_t id : plan_.block_ids_in_core(core))
+      ++histogram[plan_.block(id).unit];
+    EXPECT_EQ(histogram[UnitKind::kFetch], 4);
+    EXPECT_EQ(histogram[UnitKind::kDecode], 4);
+    EXPECT_EQ(histogram[UnitKind::kExecute], 6);
+    EXPECT_EQ(histogram[UnitKind::kLoadStore], 5);
+    EXPECT_EQ(histogram[UnitKind::kFloatingPoint], 4);
+    EXPECT_EQ(histogram[UnitKind::kL2Cache], 4);
+    EXPECT_EQ(histogram[UnitKind::kMisc], 3);
+  }
+}
+
+TEST_F(FloorplanTest, ExecuteUnitHasHighestPowerWeight) {
+  double exe_weight = 0.0, others_max = 0.0;
+  for (const auto& block : plan_.blocks()) {
+    if (block.unit == UnitKind::kExecute)
+      exe_weight = block.power_weight;
+    else
+      others_max = std::max(others_max, block.power_weight);
+  }
+  EXPECT_GT(exe_weight, others_max);
+}
+
+TEST_F(FloorplanTest, CoreCandidatesAreBaNodesInCoreSlot) {
+  for (std::size_t core = 0; core < plan_.core_count(); ++core) {
+    const auto candidates = plan_.ba_candidates_for_core(core);
+    EXPECT_FALSE(candidates.empty());
+    for (std::size_t node : candidates) EXPECT_FALSE(plan_.is_fa_node(node));
+  }
+}
+
+TEST_F(FloorplanTest, CoreCandidateRegionsAreDisjoint) {
+  std::set<std::size_t> seen;
+  for (std::size_t core = 0; core < plan_.core_count(); ++core)
+    for (std::size_t node : plan_.ba_candidates_for_core(core))
+      EXPECT_TRUE(seen.insert(node).second);
+}
+
+TEST_F(FloorplanTest, BlockNamesEncodeCoreAndUnit) {
+  const auto ids = plan_.block_ids_in_core(1);
+  ASSERT_FALSE(ids.empty());
+  const Block& b = plan_.block(ids.front());
+  EXPECT_EQ(b.core, 1u);
+  EXPECT_EQ(b.name.rfind("c1.", 0), 0u);
+}
+
+TEST_F(FloorplanTest, AsciiMapHasGridShape) {
+  const std::string map = plan_.ascii_map({});
+  const auto& gc = grid_.config();
+  EXPECT_EQ(map.size(), (gc.nx + 1) * gc.ny);  // rows + newlines
+  // Must contain both FA letters and BA dots.
+  EXPECT_NE(map.find('E'), std::string::npos);
+  EXPECT_NE(map.find('.'), std::string::npos);
+}
+
+TEST_F(FloorplanTest, AsciiMapMarksNodes) {
+  const std::size_t node = plan_.ba_nodes().front();
+  const std::string map = plan_.ascii_map({node});
+  EXPECT_NE(map.find('*'), std::string::npos);
+}
+
+TEST(Floorplan, RejectsTooSmallGrid) {
+  grid::GridConfig gc;
+  gc.nx = 8;
+  gc.ny = 8;
+  gc.pad_spacing = 4;
+  grid::PowerGrid grid(gc);
+  FloorplanConfig fc;
+  fc.cores_x = 2;
+  fc.cores_y = 2;
+  EXPECT_THROW(Floorplan(grid, fc), vmap::ContractError);
+}
+
+TEST(CriticalNodes, PicksPerBlockMinimum) {
+  auto setup = core::small_setup();
+  grid::PowerGrid grid(setup.grid);
+  Floorplan plan(grid, setup.floorplan);
+  linalg::Vector min_voltage(grid.node_count(), 1.0);
+  // Mark one specific node of block 3 as the worst.
+  const auto& block = plan.block(3);
+  const std::size_t worst = block.nodes[block.nodes.size() / 2];
+  min_voltage[worst] = 0.7;
+  const auto critical = select_critical_nodes(plan, min_voltage);
+  ASSERT_EQ(critical.size(), plan.block_count());
+  EXPECT_EQ(critical[3], worst);
+  // Every critical node must belong to its block.
+  for (std::size_t id = 0; id < critical.size(); ++id) {
+    const auto owner = plan.block_of_node(critical[id]);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(*owner, id);
+  }
+}
+
+TEST(CriticalNodes, MultiNodeSelectionOrdersBySeverity) {
+  auto setup = core::small_setup();
+  grid::PowerGrid grid(setup.grid);
+  Floorplan plan(grid, setup.floorplan);
+  linalg::Vector min_voltage(grid.node_count(), 1.0);
+  const auto& block = plan.block(5);
+  ASSERT_GE(block.nodes.size(), 2u);
+  const std::size_t worst = block.nodes[0];
+  const std::size_t second = block.nodes[1];
+  min_voltage[worst] = 0.70;
+  min_voltage[second] = 0.80;
+
+  const auto set = select_critical_nodes_n(plan, min_voltage, 2);
+  // Every block contributes up to two nodes, tagged with its id.
+  ASSERT_EQ(set.nodes.size(), set.blocks.size());
+  std::size_t found = 0;
+  for (std::size_t i = 0; i < set.nodes.size(); ++i) {
+    if (set.blocks[i] != 5) continue;
+    if (found == 0) {
+      EXPECT_EQ(set.nodes[i], worst);
+    }
+    if (found == 1) {
+      EXPECT_EQ(set.nodes[i], second);
+    }
+    ++found;
+  }
+  EXPECT_EQ(found, 2u);
+}
+
+TEST(CriticalNodes, MultiNodeRespectsBlockSize) {
+  auto setup = core::small_setup();
+  grid::PowerGrid grid(setup.grid);
+  Floorplan plan(grid, setup.floorplan);
+  linalg::Vector min_voltage(grid.node_count(), 1.0);
+  const auto set = select_critical_nodes_n(plan, min_voltage, 1000);
+  // Never more nodes than the block owns; every node tagged correctly.
+  std::map<std::size_t, std::size_t> per_block;
+  for (std::size_t i = 0; i < set.nodes.size(); ++i) {
+    ++per_block[set.blocks[i]];
+    const auto owner = plan.block_of_node(set.nodes[i]);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(*owner, set.blocks[i]);
+  }
+  for (const auto& [block_id, count] : per_block)
+    EXPECT_EQ(count, plan.block(block_id).nodes.size());
+}
+
+TEST(CriticalNodes, SingleNodeVariantMatchesNEqualsOne) {
+  auto setup = core::small_setup();
+  grid::PowerGrid grid(setup.grid);
+  Floorplan plan(grid, setup.floorplan);
+  vmap::Rng rng(3);
+  linalg::Vector min_voltage(grid.node_count());
+  for (std::size_t i = 0; i < min_voltage.size(); ++i)
+    min_voltage[i] = rng.uniform(0.7, 1.0);
+  const auto single = select_critical_nodes(plan, min_voltage);
+  const auto multi = select_critical_nodes_n(plan, min_voltage, 1);
+  ASSERT_EQ(multi.nodes.size(), single.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_EQ(multi.nodes[i], single[i]);
+    EXPECT_EQ(multi.blocks[i], i);
+  }
+}
+
+TEST(CriticalNodes, CenterNodesInsideBlocks) {
+  auto setup = core::small_setup();
+  grid::PowerGrid grid(setup.grid);
+  Floorplan plan(grid, setup.floorplan);
+  const auto centers = center_nodes(plan);
+  ASSERT_EQ(centers.size(), plan.block_count());
+  for (std::size_t id = 0; id < centers.size(); ++id) {
+    const auto owner = plan.block_of_node(centers[id]);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(*owner, id);
+  }
+}
+
+TEST(UnitNames, AllDistinct) {
+  std::set<std::string> names;
+  names.insert(unit_name(UnitKind::kFetch));
+  names.insert(unit_name(UnitKind::kDecode));
+  names.insert(unit_name(UnitKind::kExecute));
+  names.insert(unit_name(UnitKind::kLoadStore));
+  names.insert(unit_name(UnitKind::kFloatingPoint));
+  names.insert(unit_name(UnitKind::kL2Cache));
+  names.insert(unit_name(UnitKind::kMisc));
+  EXPECT_EQ(names.size(), kUnitKindCount);
+}
+
+}  // namespace
+}  // namespace vmap::chip

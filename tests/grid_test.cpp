@@ -1,0 +1,371 @@
+// Power-grid physics tests: DC operating points, transient behaviour,
+// voltage bounds, and recorders.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/power_grid.hpp"
+#include "grid/recorder.hpp"
+#include "grid/transient.hpp"
+#include "linalg/cholesky.hpp"
+#include "util/assert.hpp"
+
+namespace vmap::grid {
+namespace {
+
+GridConfig small_config() {
+  GridConfig c;
+  c.nx = 8;
+  c.ny = 6;
+  c.segment_resistance = 0.5;
+  c.node_capacitance = 1e-12;
+  c.pad_resistance = 0.05;
+  c.vdd = 1.0;
+  c.pad_spacing = 4;
+  return c;
+}
+
+TEST(PowerGrid, GeometryRoundTrips) {
+  const PowerGrid grid(small_config());
+  EXPECT_EQ(grid.node_count(), 48u);
+  const std::size_t id = grid.node_id(3, 2);
+  const auto [x, y] = grid.node_xy(id);
+  EXPECT_EQ(x, 3u);
+  EXPECT_EQ(y, 2u);
+  EXPECT_THROW(grid.node_id(8, 0), vmap::ContractError);
+}
+
+TEST(PowerGrid, DistanceIsMetric) {
+  const PowerGrid grid(small_config());
+  const std::size_t a = grid.node_id(0, 0);
+  const std::size_t b = grid.node_id(3, 4);
+  EXPECT_DOUBLE_EQ(grid.distance_um(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(grid.distance_um(a, b), grid.distance_um(b, a));
+  EXPECT_NEAR(grid.distance_um(a, b), 120.0 * 5.0, 1e-9);  // 3-4-5 triangle
+}
+
+TEST(PowerGrid, HasPadsAndTheyAreMarked) {
+  const PowerGrid grid(small_config());
+  EXPECT_FALSE(grid.pad_nodes().empty());
+  for (std::size_t pad : grid.pad_nodes()) EXPECT_TRUE(grid.is_pad(pad));
+}
+
+TEST(PowerGrid, ConductanceIsSymmetricSpd) {
+  const PowerGrid grid(small_config());
+  EXPECT_TRUE(grid.conductance().is_symmetric());
+  // SPD: the dense Cholesky must succeed.
+  EXPECT_NO_THROW(linalg::Cholesky(grid.conductance().to_dense()));
+}
+
+TEST(PowerGrid, NoLoadMeansVddEverywhere) {
+  const PowerGrid grid(small_config());
+  const linalg::Vector v = grid.dc_solve(linalg::Vector(grid.node_count()));
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(v[i], 1.0, 1e-10);
+}
+
+TEST(PowerGrid, DcDroopIsPositiveUnderLoad) {
+  const PowerGrid grid(small_config());
+  linalg::Vector load(grid.node_count());
+  const std::size_t victim = grid.node_id(1, 1);
+  load[victim] = 0.5;  // 0.5 A draw
+  const linalg::Vector v = grid.dc_solve(load);
+  EXPECT_LT(v[victim], 1.0);
+  // Every node sags at or below VDD; the victim sags the most.
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_LE(v[i], 1.0 + 1e-12);
+    EXPECT_GE(v[i], v[victim] - 1e-12);
+  }
+}
+
+TEST(PowerGrid, DroopScalesLinearlyWithCurrent) {
+  const PowerGrid grid(small_config());
+  linalg::Vector load(grid.node_count());
+  const std::size_t victim = grid.node_id(5, 3);
+  load[victim] = 0.1;
+  const double droop1 = 1.0 - grid.dc_solve(load)[victim];
+  load[victim] = 0.2;
+  const double droop2 = 1.0 - grid.dc_solve(load)[victim];
+  EXPECT_NEAR(droop2, 2.0 * droop1, 1e-10);
+}
+
+TEST(PowerGrid, DroopDecaysWithDistanceFromLoad) {
+  GridConfig c = small_config();
+  c.nx = 16;
+  c.ny = 16;
+  c.pad_spacing = 16;  // single pad region; droop dominated by the load
+  const PowerGrid grid(c);
+  linalg::Vector load(grid.node_count());
+  const std::size_t source = grid.node_id(8, 8);
+  load[source] = 0.3;
+  const linalg::Vector v = grid.dc_solve(load);
+  const double near = 1.0 - v[grid.node_id(9, 8)];
+  const double far = 1.0 - v[grid.node_id(15, 15)];
+  EXPECT_GT(near, far);
+}
+
+TEST(PowerGrid, RejectsBadConfigs) {
+  GridConfig c = small_config();
+  c.nx = 1;
+  EXPECT_THROW(PowerGrid{c}, vmap::ContractError);
+  c = small_config();
+  c.segment_resistance = 0.0;
+  EXPECT_THROW(PowerGrid{c}, vmap::ContractError);
+  c = small_config();
+  c.pad_spacing = 0;
+  EXPECT_THROW(PowerGrid{c}, vmap::ContractError);
+}
+
+TEST(Transient, QuiescentGridStaysAtVdd) {
+  const PowerGrid grid(small_config());
+  TransientSim sim(grid, 1e-11);
+  const linalg::Vector no_load(grid.node_count());
+  for (int s = 0; s < 5; ++s) {
+    const auto& v = sim.step(no_load);
+    for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(v[i], 1.0, 1e-10);
+  }
+}
+
+TEST(Transient, ConvergesToDcUnderConstantLoad) {
+  const PowerGrid grid(small_config());
+  linalg::Vector load(grid.node_count());
+  load[grid.node_id(2, 2)] = 0.2;
+  const linalg::Vector dc = grid.dc_solve(load);
+
+  TransientSim sim(grid, 1e-11);
+  linalg::Vector v;
+  for (int s = 0; s < 400; ++s) v = sim.step(load);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(v[i], dc[i], 1e-6);
+}
+
+TEST(Transient, StepResponseIsMonotoneDecay) {
+  // Backward Euler on an RC grid: voltage at the loaded node decreases
+  // monotonically toward the DC value after a current step.
+  const PowerGrid grid(small_config());
+  linalg::Vector load(grid.node_count());
+  const std::size_t victim = grid.node_id(4, 3);
+  load[victim] = 0.3;
+  TransientSim sim(grid, 1e-11);
+  double previous = 1.0;
+  for (int s = 0; s < 100; ++s) {
+    const double now = sim.step(load)[victim];
+    EXPECT_LE(now, previous + 1e-12);
+    previous = now;
+  }
+}
+
+TEST(Transient, VoltagesStayWithinPhysicalBounds) {
+  const PowerGrid grid(small_config());
+  linalg::Vector load(grid.node_count());
+  for (std::size_t i = 0; i < load.size(); ++i)
+    load[i] = (i % 7 == 0) ? 0.05 : 0.0;
+  TransientSim sim(grid, 1e-11);
+  for (int s = 0; s < 50; ++s) {
+    const auto& v = sim.step(load);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      EXPECT_GT(v[i], 0.0);
+      EXPECT_LE(v[i], 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Transient, RecoveryAfterLoadRemoval) {
+  const PowerGrid grid(small_config());
+  linalg::Vector load(grid.node_count());
+  const std::size_t victim = grid.node_id(4, 3);
+  load[victim] = 0.3;
+  TransientSim sim(grid, 1e-11);
+  for (int s = 0; s < 50; ++s) sim.step(load);
+  const double drooped = sim.voltages()[victim];
+  const linalg::Vector no_load(grid.node_count());
+  for (int s = 0; s < 400; ++s) sim.step(no_load);
+  EXPECT_GT(sim.voltages()[victim], drooped);
+  EXPECT_NEAR(sim.voltages()[victim], 1.0, 1e-6);
+}
+
+TEST(Transient, ResetRestoresQuiescentState) {
+  const PowerGrid grid(small_config());
+  linalg::Vector load(grid.node_count());
+  load[0] = 0.1;
+  TransientSim sim(grid, 1e-11);
+  sim.step(load);
+  EXPECT_EQ(sim.steps_taken(), 1u);
+  sim.reset();
+  EXPECT_EQ(sim.steps_taken(), 0u);
+  for (std::size_t i = 0; i < grid.node_count(); ++i)
+    EXPECT_DOUBLE_EQ(sim.voltages()[i], 1.0);
+}
+
+TEST(Transient, DirectAndPcgSolversAgree) {
+  const PowerGrid grid(small_config());
+  linalg::Vector load(grid.node_count());
+  load[grid.node_id(3, 3)] = 0.25;
+  TransientSim direct(grid, 1e-11, StepSolver::kDirect);
+  TransientSim pcg(grid, 1e-11, StepSolver::kPcgIc0);
+  for (int s = 0; s < 20; ++s) {
+    const auto& vd = direct.step(load);
+    const auto& vp = pcg.step(load);
+    for (std::size_t i = 0; i < vd.size(); ++i)
+      EXPECT_NEAR(vd[i], vp[i], 1e-7);
+  }
+}
+
+TEST(Transient, SmallerTimeStepTracksFasterDynamics) {
+  // A smaller dt reaches less of the final droop in the same number of
+  // steps (because less wall time has elapsed) — basic dt sanity.
+  const PowerGrid grid(small_config());
+  linalg::Vector load(grid.node_count());
+  const std::size_t victim = grid.node_id(2, 2);
+  load[victim] = 0.2;
+  TransientSim coarse(grid, 1e-11);
+  TransientSim fine(grid, 1e-12);
+  coarse.step(load);
+  fine.step(load);
+  EXPECT_LT(coarse.voltages()[victim], fine.voltages()[victim]);
+}
+
+TEST(Transient, InductivePadsProduceFirstDroopUndershoot) {
+  // With package inductance the grid is underdamped: after a load step the
+  // voltage undershoots below its resistive DC value (the L·di/dt "first
+  // droop"), then recovers. Without inductance the approach is monotone
+  // from above, so the transient minimum equals the DC value.
+  GridConfig c = small_config();
+  c.pad_inductance = 5e-10;
+  const PowerGrid inductive(c);
+  const PowerGrid resistive(small_config());
+
+  linalg::Vector load(inductive.node_count());
+  const std::size_t victim = inductive.node_id(4, 3);
+  load[victim] = 0.3;
+  const double dc_value = resistive.dc_solve(load)[victim];
+
+  TransientSim sim(inductive, 1e-11);
+  double transient_min = 1.0;
+  for (int s = 0; s < 20000; ++s)
+    transient_min = std::min(transient_min, sim.step(load)[victim]);
+  EXPECT_LT(transient_min, dc_value - 1e-4);
+  // After settling, the inductive grid reaches the same DC point (the
+  // inductor is a DC short).
+  EXPECT_NEAR(sim.voltages()[victim], dc_value, 1e-4);
+}
+
+TEST(Transient, PadCurrentsSatisfyKclAtSteadyState) {
+  GridConfig c = small_config();
+  c.pad_inductance = 1e-9;
+  const PowerGrid grid(c);
+  linalg::Vector load(grid.node_count());
+  load[grid.node_id(2, 2)] = 0.1;
+  load[grid.node_id(6, 4)] = 0.15;
+  TransientSim sim(grid, 1e-11);
+  for (int s = 0; s < 4000; ++s) sim.step(load);
+  double pad_total = sim.pad_currents().sum();
+  EXPECT_NEAR(pad_total, 0.25, 1e-5);  // pads supply the full load at DC
+}
+
+TEST(Transient, ZeroInductanceKeepsPadCurrentsStateless) {
+  const PowerGrid grid(small_config());
+  linalg::Vector load(grid.node_count());
+  load[0] = 0.1;
+  TransientSim sim(grid, 1e-11);
+  for (int s = 0; s < 10; ++s) sim.step(load);
+  EXPECT_DOUBLE_EQ(sim.pad_currents().norm2(), 0.0);
+}
+
+TEST(TwoLayer, TopLayerNodesAppendAfterDeviceNodes) {
+  GridConfig c = small_config();
+  c.nx = 16;
+  c.ny = 16;
+  c.two_layer = true;
+  c.top_pitch = 4;
+  const PowerGrid grid(c);
+  EXPECT_EQ(grid.device_node_count(), 256u);
+  EXPECT_GT(grid.node_count(), grid.device_node_count());
+  EXPECT_EQ(grid.top_nodes().size(),
+            grid.node_count() - grid.device_node_count());
+  for (std::size_t id : grid.top_nodes())
+    EXPECT_GE(id, grid.device_node_count());
+  // Pads live on the top layer.
+  for (std::size_t pad : grid.pad_nodes())
+    EXPECT_GE(pad, grid.device_node_count());
+}
+
+TEST(TwoLayer, NoLoadStillMeansVddEverywhere) {
+  GridConfig c = small_config();
+  c.nx = 16;
+  c.ny = 16;
+  c.two_layer = true;
+  const PowerGrid grid(c);
+  const linalg::Vector v = grid.dc_solve(linalg::Vector(grid.node_count()));
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(v[i], 1.0, 1e-9);
+}
+
+TEST(TwoLayer, TopLayerStiffensTheGrid) {
+  // The low-resistance top mesh must reduce the droop of a corner load
+  // relative to the single-layer grid with the same device mesh.
+  GridConfig base = small_config();
+  base.nx = 16;
+  base.ny = 16;
+  base.pad_spacing = 8;
+  GridConfig layered = base;
+  layered.two_layer = true;
+  layered.top_pitch = 4;
+
+  const PowerGrid single(base);
+  const PowerGrid twin(layered);
+  linalg::Vector load_single(single.node_count());
+  linalg::Vector load_twin(twin.node_count());
+  const std::size_t victim = single.node_id(14, 14);
+  load_single[victim] = 0.2;
+  load_twin[victim] = 0.2;
+
+  const double droop_single = 1.0 - single.dc_solve(load_single)[victim];
+  const double droop_twin = 1.0 - twin.dc_solve(load_twin)[victim];
+  EXPECT_LT(droop_twin, droop_single);
+}
+
+TEST(TwoLayer, DeviceSizedLoadVectorIsAccepted) {
+  GridConfig c = small_config();
+  c.nx = 16;
+  c.ny = 16;
+  c.two_layer = true;
+  const PowerGrid grid(c);
+  linalg::Vector device_load(grid.device_node_count());
+  device_load[grid.node_id(3, 3)] = 0.1;
+  const linalg::Vector v = grid.dc_solve(device_load);
+  EXPECT_EQ(v.size(), grid.node_count());
+  EXPECT_LT(v[grid.node_id(3, 3)], 1.0);
+
+  TransientSim sim(grid, 1e-11);
+  EXPECT_NO_THROW(sim.step(device_load));
+}
+
+TEST(Recorder, TraceAndMatrixAgree) {
+  const PowerGrid grid(small_config());
+  linalg::Vector load(grid.node_count());
+  load[grid.node_id(1, 1)] = 0.2;
+  TransientSim sim(grid, 1e-11);
+  TraceRecorder recorder({grid.node_id(1, 1), grid.node_id(6, 4)});
+  for (int s = 0; s < 10; ++s) recorder.observe(sim.step(load));
+  EXPECT_EQ(recorder.samples(), 10u);
+  const auto m = recorder.as_matrix();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 10u);
+  const auto t0 = recorder.trace(0);
+  for (std::size_t s = 0; s < 10; ++s) EXPECT_DOUBLE_EQ(t0[s], m(0, s));
+  const auto mins = recorder.min_per_node();
+  EXPECT_DOUBLE_EQ(mins[0], t0.min());
+}
+
+TEST(Recorder, MapSamplerKeepsStride) {
+  const PowerGrid grid(small_config());
+  TransientSim sim(grid, 1e-11);
+  const linalg::Vector no_load(grid.node_count());
+  MapSampler sampler({0, 1, 2}, /*stride=*/3, /*phase=*/1);
+  for (int s = 0; s < 10; ++s) sampler.observe(sim.step(no_load));
+  // Observations kept: indices 1, 4, 7 -> 3 maps.
+  EXPECT_EQ(sampler.maps(), 3u);
+  EXPECT_EQ(sampler.as_matrix().cols(), 3u);
+}
+
+}  // namespace
+}  // namespace vmap::grid

@@ -1,0 +1,211 @@
+// Factorization properties: Cholesky and Householder QR over randomized
+// instances (parameterized sweeps), plus least-squares optimality.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace vmap::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, vmap::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  return m;
+}
+
+/// Random SPD matrix A = B Bᵀ + n·I.
+Matrix random_spd(std::size_t n, vmap::Rng& rng) {
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix a = matmul_a_bt(b, b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+class CholeskySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskySizes, ReconstructsInput) {
+  vmap::Rng rng(100 + GetParam());
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, rng);
+  const Cholesky chol(a);
+  const Matrix l = chol.factor();
+  const Matrix llt = matmul_a_bt(l, l);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(llt(i, j), a(i, j), 1e-9 * a.norm_max());
+}
+
+TEST_P(CholeskySizes, SolveSatisfiesSystem) {
+  vmap::Rng rng(200 + GetParam());
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, rng);
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = rng.normal();
+  const Cholesky chol(a);
+  const Vector x = chol.solve(b);
+  const Vector ax = matvec(a, x);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(ax[i], b[i], 1e-8 * (1.0 + b.norm_inf()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32, 64));
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(Cholesky(Matrix(2, 3)), vmap::ContractError);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3 and -1
+  EXPECT_THROW(Cholesky{a}, vmap::ContractError);
+}
+
+TEST(Cholesky, LogDetMatchesKnownValue) {
+  Matrix a{{4.0, 0.0}, {0.0, 9.0}};
+  const Cholesky chol(a);
+  EXPECT_NEAR(chol.log_det(), std::log(36.0), 1e-12);
+}
+
+TEST(Cholesky, MatrixSolveMatchesVectorSolve) {
+  vmap::Rng rng(300);
+  const Matrix a = random_spd(6, rng);
+  const Matrix b = random_matrix(6, 3, rng);
+  const Cholesky chol(a);
+  const Matrix x = chol.solve(b);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const Vector xc = chol.solve(b.col(c));
+    for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(x(i, c), xc[i], 1e-12);
+  }
+}
+
+TEST(NormalEquations, MatchesQrOnWellConditionedProblem) {
+  vmap::Rng rng(400);
+  const Matrix a = random_matrix(30, 5, rng);
+  Vector b(30);
+  for (std::size_t i = 0; i < 30; ++i) b[i] = rng.normal();
+  const Vector x_ne = solve_normal_equations(a, b);
+  const Vector x_qr = lstsq(a, b);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x_ne[i], x_qr[i], 1e-8);
+}
+
+TEST(NormalEquations, RidgeShrinksSolution) {
+  vmap::Rng rng(500);
+  const Matrix a = random_matrix(20, 4, rng);
+  Vector b(20);
+  for (std::size_t i = 0; i < 20; ++i) b[i] = rng.normal();
+  const Vector x0 = solve_normal_equations(a, b, 0.0);
+  const Vector x1 = solve_normal_equations(a, b, 100.0);
+  EXPECT_LT(x1.norm2(), x0.norm2());
+}
+
+struct QrShape {
+  std::size_t rows;
+  std::size_t cols;
+};
+
+class QrShapes : public ::testing::TestWithParam<QrShape> {};
+
+TEST_P(QrShapes, ThinQHasOrthonormalColumns) {
+  vmap::Rng rng(600 + GetParam().rows);
+  const auto [rows, cols] = GetParam();
+  const Matrix a = random_matrix(rows, cols, rng);
+  const QR qr(a);
+  const Matrix q = qr.thin_q();
+  const Matrix qtq = matmul_at_b(q, q);
+  for (std::size_t i = 0; i < cols; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      EXPECT_NEAR(qtq(i, j), i == j ? 1.0 : 0.0, 1e-10);
+}
+
+TEST_P(QrShapes, QrReconstructsInput) {
+  vmap::Rng rng(700 + GetParam().cols);
+  const auto [rows, cols] = GetParam();
+  const Matrix a = random_matrix(rows, cols, rng);
+  const QR qr(a);
+  const Matrix reconstructed = matmul(qr.thin_q(), qr.r());
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      EXPECT_NEAR(reconstructed(i, j), a(i, j), 1e-10);
+}
+
+TEST_P(QrShapes, ResidualOrthogonalToColumnSpace) {
+  // Least-squares optimality: Aᵀ(Ax − b) = 0.
+  vmap::Rng rng(800 + GetParam().rows * 31 + GetParam().cols);
+  const auto [rows, cols] = GetParam();
+  const Matrix a = random_matrix(rows, cols, rng);
+  Vector b(rows);
+  for (std::size_t i = 0; i < rows; ++i) b[i] = rng.normal();
+  const Vector x = lstsq(a, b);
+  Vector residual = matvec(a, x);
+  residual -= b;
+  const Vector atr = matvec_t(a, residual);
+  for (std::size_t j = 0; j < cols; ++j) EXPECT_NEAR(atr[j], 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrShapes,
+                         ::testing::Values(QrShape{1, 1}, QrShape{3, 2},
+                                           QrShape{5, 5}, QrShape{10, 4},
+                                           QrShape{40, 12}, QrShape{80, 3},
+                                           QrShape{64, 64}));
+
+TEST(QR, ExactSolveOnSquareSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  Vector b{3.0, 5.0};
+  const Vector x = QR(a).solve(b);
+  EXPECT_NEAR(2.0 * x[0] + x[1], 3.0, 1e-12);
+  EXPECT_NEAR(x[0] + 3.0 * x[1], 5.0, 1e-12);
+}
+
+TEST(QR, RecoversPlantedCoefficients) {
+  // Noise-free planted model must be recovered exactly.
+  vmap::Rng rng(900);
+  const Matrix a = random_matrix(50, 6, rng);
+  Vector truth(6);
+  for (std::size_t i = 0; i < 6; ++i) truth[i] = rng.uniform(-2.0, 2.0);
+  const Vector b = matvec(a, truth);
+  const Vector x = lstsq(a, b);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(x[i], truth[i], 1e-9);
+}
+
+TEST(QR, RankDetectsDeficiency) {
+  Matrix a(6, 3);
+  vmap::Rng rng(1000);
+  for (std::size_t i = 0; i < 6; ++i) {
+    a(i, 0) = rng.normal();
+    a(i, 1) = 2.0 * a(i, 0);  // exactly dependent
+    a(i, 2) = rng.normal();
+  }
+  const QR qr(a);
+  EXPECT_EQ(qr.rank(), 2u);
+}
+
+TEST(QR, RankDeficientSolveThrows) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * a(i, 0);
+  }
+  Vector b{1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(QR(a).solve(b), vmap::ContractError);
+}
+
+TEST(QR, WideMatrixRejected) {
+  EXPECT_THROW(QR(Matrix(2, 3)), vmap::ContractError);
+}
+
+TEST(QR, ZeroColumnHandledInRank) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) a(i, 1) = static_cast<double>(i + 1);
+  EXPECT_EQ(QR(a).rank(), 1u);
+}
+
+}  // namespace
+}  // namespace vmap::linalg

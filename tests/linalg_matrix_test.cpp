@@ -1,0 +1,157 @@
+// Dense matrix kernel tests: products, transposes, selections, norms.
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace vmap::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, vmap::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  return m;
+}
+
+TEST(Matrix, InitializerListAndIdentity) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m(1, 0), 3.0);
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_EQ(eye(0, 0), 1.0);
+  EXPECT_EQ(eye(0, 1), 0.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), vmap::ContractError);
+}
+
+TEST(Matrix, RowAndColumnAccess) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Vector row = m.row(1);
+  EXPECT_EQ(row[2], 6.0);
+  const Vector col = m.col(0);
+  EXPECT_EQ(col[1], 4.0);
+  m.set_row(0, Vector{7.0, 8.0, 9.0});
+  EXPECT_EQ(m(0, 2), 9.0);
+  m.set_col(1, Vector{0.0, 0.0});
+  EXPECT_EQ(m(1, 1), 0.0);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  vmap::Rng rng(5);
+  const Matrix m = random_matrix(4, 7, rng);
+  const Matrix mtt = m.transposed().transposed();
+  EXPECT_EQ(mtt.rows(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      EXPECT_DOUBLE_EQ(mtt(r, c), m(r, c));
+}
+
+TEST(Matrix, MatmulAgainstHandComputed) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulIdentityIsNoop) {
+  vmap::Rng rng(7);
+  const Matrix m = random_matrix(5, 5, rng);
+  const Matrix prod = matmul(m, Matrix::identity(5));
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c)
+      EXPECT_NEAR(prod(r, c), m(r, c), 1e-14);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(matmul(a, b), vmap::ContractError);
+}
+
+TEST(Matrix, TransposedProductsMatchExplicitTranspose) {
+  vmap::Rng rng(11);
+  const Matrix a = random_matrix(6, 4, rng);
+  const Matrix b = random_matrix(6, 3, rng);
+  const Matrix atb = matmul_at_b(a, b);
+  const Matrix reference = matmul(a.transposed(), b);
+  ASSERT_EQ(atb.rows(), reference.rows());
+  for (std::size_t r = 0; r < atb.rows(); ++r)
+    for (std::size_t c = 0; c < atb.cols(); ++c)
+      EXPECT_NEAR(atb(r, c), reference(r, c), 1e-12);
+
+  const Matrix c = random_matrix(5, 4, rng);
+  const Matrix abt = matmul_a_bt(a, c);
+  const Matrix reference2 = matmul(a, c.transposed());
+  for (std::size_t r = 0; r < abt.rows(); ++r)
+    for (std::size_t cc = 0; cc < abt.cols(); ++cc)
+      EXPECT_NEAR(abt(r, cc), reference2(r, cc), 1e-12);
+}
+
+TEST(Matrix, MatvecMatchesMatmul) {
+  vmap::Rng rng(13);
+  const Matrix a = random_matrix(4, 6, rng);
+  Vector x(6);
+  for (std::size_t i = 0; i < 6; ++i) x[i] = rng.normal();
+  const Vector y = matvec(a, x);
+  for (std::size_t r = 0; r < 4; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < 6; ++c) acc += a(r, c) * x[c];
+    EXPECT_NEAR(y[r], acc, 1e-12);
+  }
+  const Vector yt = matvec_t(a, y);
+  const Vector reference = matvec(a.transposed(), y);
+  for (std::size_t c = 0; c < 6; ++c) EXPECT_NEAR(yt[c], reference[c], 1e-12);
+}
+
+TEST(Matrix, FrobeniusNormMatchesDefinition) {
+  Matrix m{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.norm_frobenius(), 5.0);
+  EXPECT_DOUBLE_EQ(m.norm_frobenius_squared(), 25.0);
+  EXPECT_DOUBLE_EQ(m.norm_max(), 4.0);
+}
+
+TEST(Matrix, SelectRowsAndCols) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  const Matrix rows = m.select_rows({2, 0});
+  EXPECT_EQ(rows.rows(), 2u);
+  EXPECT_EQ(rows(0, 0), 7.0);
+  EXPECT_EQ(rows(1, 2), 3.0);
+  const Matrix cols = m.select_cols({1});
+  EXPECT_EQ(cols.cols(), 1u);
+  EXPECT_EQ(cols(2, 0), 8.0);
+  EXPECT_THROW(m.select_rows({5}), vmap::ContractError);
+  EXPECT_THROW(m.select_cols({9}), vmap::ContractError);
+}
+
+TEST(Matrix, AdditionSubtractionScaling) {
+  Matrix a{{1.0, 2.0}}, b{{3.0, 4.0}};
+  const Matrix sum = a + b;
+  EXPECT_EQ(sum(0, 1), 6.0);
+  const Matrix diff = b - a;
+  EXPECT_EQ(diff(0, 0), 2.0);
+  const Matrix scaled = a * 3.0;
+  EXPECT_EQ(scaled(0, 0), 3.0);
+  EXPECT_THROW(a += Matrix(2, 2), vmap::ContractError);
+}
+
+TEST(Matrix, AssociativityOfMatmul) {
+  vmap::Rng rng(17);
+  const Matrix a = random_matrix(3, 4, rng);
+  const Matrix b = random_matrix(4, 5, rng);
+  const Matrix c = random_matrix(5, 2, rng);
+  const Matrix left = matmul(matmul(a, b), c);
+  const Matrix right = matmul(a, matmul(b, c));
+  for (std::size_t r = 0; r < left.rows(); ++r)
+    for (std::size_t cc = 0; cc < left.cols(); ++cc)
+      EXPECT_NEAR(left(r, cc), right(r, cc), 1e-11);
+}
+
+}  // namespace
+}  // namespace vmap::linalg

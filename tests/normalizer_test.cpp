@@ -1,0 +1,110 @@
+// Normalizer tests: z-score invariants, round trips, degenerate rows.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/normalizer.hpp"
+#include "linalg/stats.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace vmap::core {
+namespace {
+
+linalg::Matrix random_data(std::size_t rows, std::size_t cols,
+                           vmap::Rng& rng) {
+  linalg::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double mu = rng.uniform(-5.0, 5.0);
+    const double sd = rng.uniform(0.1, 3.0);
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal(mu, sd);
+  }
+  return m;
+}
+
+TEST(Normalizer, NormalizedDataHasZeroMeanUnitVariance) {
+  vmap::Rng rng(1);
+  const auto data = random_data(5, 400, rng);
+  const Normalizer norm(data);
+  const auto z = norm.normalize(data);
+  const auto mu = linalg::row_means(z);
+  const auto sd = linalg::row_stddevs(z);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(mu[r], 0.0, 1e-10);
+    EXPECT_NEAR(sd[r], 1.0, 1e-10);
+  }
+}
+
+TEST(Normalizer, RoundTripRestoresData) {
+  vmap::Rng rng(2);
+  const auto data = random_data(4, 100, rng);
+  const Normalizer norm(data);
+  const auto restored = norm.denormalize(norm.normalize(data));
+  for (std::size_t r = 0; r < data.rows(); ++r)
+    for (std::size_t c = 0; c < data.cols(); ++c)
+      EXPECT_NEAR(restored(r, c), data(r, c), 1e-10);
+}
+
+TEST(Normalizer, VectorPathMatchesMatrixPath) {
+  vmap::Rng rng(3);
+  const auto data = random_data(6, 50, rng);
+  const Normalizer norm(data);
+  const auto z = norm.normalize(data);
+  const auto zv = norm.normalize(data.col(7));
+  for (std::size_t r = 0; r < 6; ++r) EXPECT_NEAR(zv[r], z(r, 7), 1e-12);
+  const auto back = norm.denormalize(zv);
+  for (std::size_t r = 0; r < 6; ++r)
+    EXPECT_NEAR(back[r], data(r, 7), 1e-12);
+}
+
+TEST(Normalizer, DegenerateRowMapsToZeroAndBackToMean) {
+  linalg::Matrix data(2, 10);
+  for (std::size_t c = 0; c < 10; ++c) {
+    data(0, c) = 7.5;                         // constant row
+    data(1, c) = static_cast<double>(c);
+  }
+  const Normalizer norm(data);
+  EXPECT_TRUE(norm.is_degenerate(0));
+  EXPECT_FALSE(norm.is_degenerate(1));
+  const auto z = norm.normalize(data);
+  for (std::size_t c = 0; c < 10; ++c) EXPECT_DOUBLE_EQ(z(0, c), 0.0);
+  const auto back = norm.denormalize(z);
+  for (std::size_t c = 0; c < 10; ++c) EXPECT_DOUBLE_EQ(back(0, c), 7.5);
+}
+
+TEST(Normalizer, NoNansFromDegenerateRows) {
+  linalg::Matrix data(1, 5);
+  data.fill(3.0);
+  const Normalizer norm(data);
+  const auto z = norm.normalize(data);
+  for (std::size_t c = 0; c < 5; ++c) EXPECT_FALSE(std::isnan(z(0, c)));
+}
+
+TEST(Normalizer, NewSamplesUseTrainingStatistics) {
+  linalg::Matrix train(1, 4);
+  train(0, 0) = 0.0;
+  train(0, 1) = 2.0;
+  train(0, 2) = 4.0;
+  train(0, 3) = 6.0;  // mean 3, sd sqrt(20/3)
+  const Normalizer norm(train);
+  linalg::Vector sample{3.0};
+  EXPECT_NEAR(norm.normalize(sample)[0], 0.0, 1e-12);
+  linalg::Vector sample2{6.0};
+  EXPECT_GT(norm.normalize(sample2)[0], 0.0);
+}
+
+TEST(Normalizer, ShapeMismatchThrows) {
+  vmap::Rng rng(4);
+  const auto data = random_data(3, 20, rng);
+  const Normalizer norm(data);
+  EXPECT_THROW(norm.normalize(linalg::Matrix(4, 20)), vmap::ContractError);
+  EXPECT_THROW(norm.normalize(linalg::Vector(2)), vmap::ContractError);
+}
+
+TEST(Normalizer, RequiresTwoSamples) {
+  EXPECT_THROW(Normalizer(linalg::Matrix(3, 1)), vmap::ContractError);
+}
+
+}  // namespace
+}  // namespace vmap::core

@@ -1,0 +1,270 @@
+// Sparse layer tests: CSR assembly semantics, SpMV, RCM ordering, skyline
+// Cholesky vs dense reference, and preconditioned CG.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "sparse/cg.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ordering.hpp"
+#include "sparse/skyline_cholesky.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace vmap::sparse {
+namespace {
+
+/// Random sparse SPD matrix: a 1D resistive chain plus diagonal boost.
+CsrMatrix chain_spd(std::size_t n, double diag_boost = 1.0) {
+  TripletBuilder b(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add(i, i, 1.0);
+    b.add(i + 1, i + 1, 1.0);
+    b.add(i, i + 1, -1.0);
+    b.add(i + 1, i, -1.0);
+  }
+  for (std::size_t i = 0; i < n; ++i) b.add(i, i, diag_boost);
+  return b.build();
+}
+
+/// 2D mesh Laplacian + diagonal boost (like the power grid's G).
+CsrMatrix mesh_spd(std::size_t nx, std::size_t ny, double diag_boost = 0.5) {
+  const std::size_t n = nx * ny;
+  TripletBuilder b(n, n);
+  auto id = [nx](std::size_t x, std::size_t y) { return y * nx + x; };
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      if (x + 1 < nx) {
+        b.add(id(x, y), id(x, y), 1.0);
+        b.add(id(x + 1, y), id(x + 1, y), 1.0);
+        b.add(id(x, y), id(x + 1, y), -1.0);
+        b.add(id(x + 1, y), id(x, y), -1.0);
+      }
+      if (y + 1 < ny) {
+        b.add(id(x, y), id(x, y), 1.0);
+        b.add(id(x, y + 1), id(x, y + 1), 1.0);
+        b.add(id(x, y), id(x, y + 1), -1.0);
+        b.add(id(x, y + 1), id(x, y), -1.0);
+      }
+      b.add(id(x, y), id(x, y), diag_boost);
+    }
+  }
+  return b.build();
+}
+
+TEST(TripletBuilder, SumsDuplicates) {
+  TripletBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.5);
+  b.add(1, 0, -1.0);
+  const CsrMatrix m = b.build();
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(TripletBuilder, DropTolRemovesCancellations) {
+  TripletBuilder b(1, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, -1.0);
+  b.add(0, 1, 2.0);
+  const CsrMatrix with_zero = b.build(0.0);
+  EXPECT_EQ(with_zero.nnz(), 2u);  // exact zero kept with tol 0
+  const CsrMatrix dropped = b.build(1e-12);
+  EXPECT_EQ(dropped.nnz(), 1u);
+}
+
+TEST(TripletBuilder, RejectsOutOfRange) {
+  TripletBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), vmap::ContractError);
+}
+
+TEST(Csr, SpmvMatchesDense) {
+  const CsrMatrix m = mesh_spd(4, 3);
+  const linalg::Matrix dense = m.to_dense();
+  vmap::Rng rng(1);
+  linalg::Vector x(m.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.normal();
+  const linalg::Vector y_sparse = m.multiply(x);
+  const linalg::Vector y_dense = linalg::matvec(dense, x);
+  for (std::size_t i = 0; i < y_sparse.size(); ++i)
+    EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-12);
+}
+
+TEST(Csr, DiagonalAndSymmetry) {
+  const CsrMatrix m = chain_spd(5);
+  const linalg::Vector d = m.diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 2.0);   // one neighbour + boost
+  EXPECT_DOUBLE_EQ(d[2], 3.0);   // two neighbours + boost
+  EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(Csr, AsymmetryDetected) {
+  TripletBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, 1.0);
+  EXPECT_FALSE(b.build().is_symmetric());
+}
+
+TEST(Ordering, RcmIsAPermutation) {
+  const CsrMatrix m = mesh_spd(6, 5);
+  const auto perm = reverse_cuthill_mckee(m);
+  ASSERT_EQ(perm.size(), m.rows());
+  std::vector<bool> seen(perm.size(), false);
+  for (std::size_t p : perm) {
+    ASSERT_LT(p, perm.size());
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Ordering, RcmReducesMeshBandwidth) {
+  // A long thin mesh ordered row-major has bandwidth = nx; RCM should do
+  // at least as well as the short dimension allows.
+  const std::size_t nx = 30, ny = 3;
+  const CsrMatrix m = mesh_spd(nx, ny);
+  const auto natural = identity_permutation(m.rows());
+  const auto rcm = reverse_cuthill_mckee(m);
+  EXPECT_LE(bandwidth(m, rcm), bandwidth(m, natural));
+  EXPECT_LE(bandwidth(m, rcm), 2 * ny + 2);
+}
+
+TEST(Ordering, InvertPermutationRoundTrips) {
+  std::vector<std::size_t> p{2, 0, 3, 1};
+  const auto inv = invert_permutation(p);
+  for (std::size_t i = 0; i < p.size(); ++i) EXPECT_EQ(inv[p[i]], i);
+}
+
+TEST(Ordering, HandlesDisconnectedGraph) {
+  TripletBuilder b(4, 4);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, 1.0);
+  b.add(2, 2, 1.0);
+  b.add(3, 3, 1.0);
+  b.add(2, 3, -0.5);
+  b.add(3, 2, -0.5);
+  const auto perm = reverse_cuthill_mckee(b.build());
+  EXPECT_EQ(perm.size(), 4u);
+}
+
+class SkylineSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SkylineSizes, MatchesDenseCholeskyOnMesh) {
+  const std::size_t n = GetParam();
+  const CsrMatrix m = mesh_spd(n, n);
+  const linalg::Matrix dense = m.to_dense();
+  vmap::Rng rng(7 + n);
+  linalg::Vector b(m.rows());
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+
+  const SkylineCholesky sky(m);
+  const linalg::Vector x_sky = sky.solve(b);
+  const linalg::Vector x_dense = linalg::Cholesky(dense).solve(b);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    EXPECT_NEAR(x_sky[i], x_dense[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshSizes, SkylineSizes,
+                         ::testing::Values(2, 3, 5, 8, 12));
+
+TEST(Skyline, WorksWithoutRcm) {
+  const CsrMatrix m = mesh_spd(6, 6);
+  vmap::Rng rng(11);
+  linalg::Vector b(m.rows());
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+  const linalg::Vector x1 = SkylineCholesky(m, /*use_rcm=*/true).solve(b);
+  const linalg::Vector x2 = SkylineCholesky(m, /*use_rcm=*/false).solve(b);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(x1[i], x2[i], 1e-9);
+}
+
+TEST(Skyline, ResidualIsTiny) {
+  const CsrMatrix m = mesh_spd(10, 10);
+  vmap::Rng rng(13);
+  linalg::Vector b(m.rows());
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+  const linalg::Vector x = SkylineCholesky(m).solve(b);
+  linalg::Vector r = m.multiply(x);
+  r -= b;
+  EXPECT_LT(r.norm2() / b.norm2(), 1e-10);
+}
+
+TEST(Skyline, RejectsIndefinite) {
+  TripletBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, 1.0);
+  b.add(0, 1, 2.0);
+  b.add(1, 0, 2.0);
+  EXPECT_THROW(SkylineCholesky(b.build()), vmap::ContractError);
+}
+
+TEST(Cg, PlainCgSolvesChain) {
+  const CsrMatrix m = chain_spd(50);
+  vmap::Rng rng(17);
+  linalg::Vector b(m.rows());
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+  const auto result =
+      conjugate_gradient(m, b, identity_preconditioner(), CgOptions{});
+  EXPECT_TRUE(result.converged);
+  linalg::Vector r = m.multiply(result.x);
+  r -= b;
+  EXPECT_LT(r.norm2() / b.norm2(), 1e-8);
+}
+
+TEST(Cg, JacobiAndIc0AgreeWithDirect) {
+  const CsrMatrix m = mesh_spd(9, 7);
+  vmap::Rng rng(19);
+  linalg::Vector b(m.rows());
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+  const linalg::Vector x_direct = SkylineCholesky(m).solve(b);
+
+  for (const auto& precond :
+       {jacobi_preconditioner(m), ic0_preconditioner(m)}) {
+    const auto result = conjugate_gradient(m, b, precond, CgOptions{});
+    ASSERT_TRUE(result.converged);
+    for (std::size_t i = 0; i < b.size(); ++i)
+      EXPECT_NEAR(result.x[i], x_direct[i], 1e-7);
+  }
+}
+
+TEST(Cg, Ic0ConvergesFasterThanPlain) {
+  const CsrMatrix m = mesh_spd(16, 16, 0.05);  // poorly conditioned
+  vmap::Rng rng(23);
+  linalg::Vector b(m.rows());
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+  const auto plain =
+      conjugate_gradient(m, b, identity_preconditioner(), CgOptions{});
+  const auto ic = conjugate_gradient(m, b, ic0_preconditioner(m), CgOptions{});
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(ic.converged);
+  EXPECT_LT(ic.iterations, plain.iterations);
+}
+
+TEST(Cg, ZeroRhsConvergesImmediately) {
+  const CsrMatrix m = chain_spd(10);
+  const auto result = conjugate_gradient(m, linalg::Vector(10),
+                                         identity_preconditioner(),
+                                         CgOptions{});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0u);
+  EXPECT_EQ(result.x.norm2(), 0.0);
+}
+
+TEST(Cg, IterationCapReported) {
+  const CsrMatrix m = mesh_spd(20, 20, 0.01);
+  vmap::Rng rng(29);
+  linalg::Vector b(m.rows());
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+  CgOptions options;
+  options.max_iterations = 2;
+  const auto result =
+      conjugate_gradient(m, b, identity_preconditioner(), options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 2u);
+}
+
+}  // namespace
+}  // namespace vmap::sparse

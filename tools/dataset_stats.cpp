@@ -1,0 +1,97 @@
+// Diagnostic: droop-distribution statistics of a cached dataset.
+//
+// Prints, per benchmark, the chip-level emergency base rate on the test
+// maps, quantiles of the per-map worst FA voltage, and how deep the
+// crossings go relative to the threshold — the numbers that decide whether
+// emergency detection is well-posed (bimodal, deep crossings) or a
+// knife-edge (everything hovering at the threshold).
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vmap;
+  CliArgs args("dataset_stats — droop distribution diagnostics");
+  args.add_flag("cache", "vmap_dataset.cache", "dataset cache to analyze");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    const core::Dataset data = core::Dataset::load(args.get("cache"));
+    const double vth = data.config.emergency_threshold;
+
+    std::printf("dataset: M=%zu K=%zu N_train=%zu N_test=%zu scale=%g "
+                "vth=%.2f\n\n",
+                data.num_candidates(), data.num_blocks(),
+                data.x_train.cols(), data.x_test.cols(), data.current_scale,
+                vth);
+
+    TablePrinter table({"benchmark", "P(emerg)", "min q05", "min q50",
+                        "min q95", "worst", "med depth(mV)",
+                        "q90 depth(mV)", "margin(mV)"});
+    std::vector<double> all_mins;
+    for (std::size_t b = 0; b < data.benchmarks.size(); ++b) {
+      const linalg::Matrix f = data.f_test_for(b);
+      std::vector<double> mins(f.cols());
+      for (std::size_t s = 0; s < f.cols(); ++s) {
+        double mn = 1e300;
+        for (std::size_t k = 0; k < f.rows(); ++k)
+          mn = std::min(mn, f(k, s));
+        mins[s] = mn;
+        all_mins.push_back(mn);
+      }
+      std::sort(mins.begin(), mins.end());
+      auto quantile = [&](double q) {
+        return mins[static_cast<std::size_t>(
+            q * static_cast<double>(mins.size() - 1))];
+      };
+      std::vector<double> depths;   // crossing depths below threshold
+      std::vector<double> margins;  // safe maps' distance above threshold
+      for (double mn : mins) {
+        if (mn < vth)
+          depths.push_back(vth - mn);
+        else
+          margins.push_back(mn - vth);
+      }
+      std::sort(depths.begin(), depths.end());
+      std::sort(margins.begin(), margins.end());
+      auto med = [](const std::vector<double>& v) {
+        return v.empty() ? 0.0 : v[v.size() / 2];
+      };
+      auto q90 = [](const std::vector<double>& v) {
+        return v.empty() ? 0.0
+                         : v[static_cast<std::size_t>(
+                               0.9 * static_cast<double>(v.size() - 1))];
+      };
+      table.add_row({data.benchmarks[b].name,
+                     TablePrinter::fmt(static_cast<double>(depths.size()) /
+                                           static_cast<double>(mins.size()),
+                                       2),
+                     TablePrinter::fmt(quantile(0.05), 3),
+                     TablePrinter::fmt(quantile(0.50), 3),
+                     TablePrinter::fmt(quantile(0.95), 3),
+                     TablePrinter::fmt(mins.front(), 3),
+                     TablePrinter::fmt(1e3 * med(depths), 1),
+                     TablePrinter::fmt(1e3 * q90(depths), 1),
+                     TablePrinter::fmt(1e3 * med(margins), 1)});
+    }
+    table.print(std::cout);
+
+    std::sort(all_mins.begin(), all_mins.end());
+    std::size_t crossing = 0;
+    for (double mn : all_mins)
+      if (mn < vth) ++crossing;
+    std::printf("\noverall: P(emerg) = %.3f over %zu test maps\n",
+                static_cast<double>(crossing) /
+                    static_cast<double>(all_mins.size()),
+                all_mins.size());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,69 @@
+// Renders a fitted sensor placement on the full-chip ASCII floorplan and
+// dumps the sensor coordinates (grid tiles and micrometres) — the quickest
+// way to eyeball what a λ choice buys.
+
+#include <cstdio>
+#include <iostream>
+
+#include "chip/floorplan.hpp"
+#include "core/dataset.hpp"
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "grid/power_grid.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/benchmark_suite.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vmap;
+  CliArgs args("placement_viewer — render a sensor placement on the die");
+  args.add_flag("cache", "vmap_dataset.cache", "dataset cache path");
+  args.add_flag("lambda", "30", "paper lambda for the placement");
+  args.add_flag("lambda-scale", "0.10", "paper lambda -> internal budget");
+  args.add_flag("sensors-per-core", "-1",
+                "fixed per-core sensor count (-1 = threshold rule)");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    const auto setup = core::default_setup();
+    const grid::PowerGrid grid(setup.grid);
+    const chip::Floorplan floorplan(grid, setup.floorplan);
+    const auto suite = workload::parsec_like_suite();
+    const core::Dataset data = core::load_or_collect(
+        args.get("cache"), grid, floorplan, setup.data, suite);
+
+    core::PipelineConfig config;
+    config.lambda =
+        args.get_double("lambda") * args.get_double("lambda-scale");
+    if (args.get_int("sensors-per-core") >= 0)
+      config.sensors_per_core =
+          static_cast<std::size_t>(args.get_int("sensors-per-core"));
+    const auto model = core::fit_placement(data, floorplan, config);
+
+    std::printf("lambda %.2f -> %zu sensors\n\n", config.lambda,
+                model.sensor_rows().size());
+    std::printf("legend: F=IFU D=IDU E=EXE L=LSU P=FPU $=L2 M=MISC "
+                ".=blank *=sensor\n\n");
+    std::fputs(floorplan.ascii_map(model.sensor_nodes()).c_str(), stdout);
+
+    TablePrinter table({"sensor", "grid node", "tile x", "tile y", "x(um)",
+                        "y(um)", "core"});
+    for (std::size_t i = 0; i < model.sensor_nodes().size(); ++i) {
+      const std::size_t node = model.sensor_nodes()[i];
+      const auto [x, y] = grid.node_xy(node);
+      const auto [ux, uy] = grid.node_position_um(node);
+      const std::size_t core =
+          (y / (setup.grid.ny / setup.floorplan.cores_y)) *
+              setup.floorplan.cores_x +
+          x / (setup.grid.nx / setup.floorplan.cores_x);
+      table.add_row({TablePrinter::fmt(i), TablePrinter::fmt(node),
+                     TablePrinter::fmt(x), TablePrinter::fmt(y),
+                     TablePrinter::fmt(ux, 0), TablePrinter::fmt(uy, 0),
+                     TablePrinter::fmt(core)});
+    }
+    table.print(std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
