@@ -1,0 +1,198 @@
+#include "core/degraded_model.hpp"
+
+#include <algorithm>
+
+#include "linalg/cholesky.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace vmap::core {
+
+namespace {
+
+/// Position of a global candidate row within the sorted chip-wide sensor
+/// list (same lookup PlacementModel uses at prediction time).
+std::size_t position_in(const std::vector<std::size_t>& sensor_rows,
+                        std::size_t row) {
+  const auto it =
+      std::lower_bound(sensor_rows.begin(), sensor_rows.end(), row);
+  VMAP_ASSERT(it != sensor_rows.end() && *it == row,
+              "selected row missing from the sensor list");
+  return static_cast<std::size_t>(it - sensor_rows.begin());
+}
+
+/// Solves gram * coef = cross with a ridge escalation fallback: the
+/// restricted Gram can go numerically semidefinite when the surviving
+/// sensors are near-collinear, and a slightly-biased fallback model beats
+/// refusing to degrade.
+linalg::Matrix solve_spd_with_ridge(linalg::Matrix gram,
+                                    const linalg::Matrix& cross) {
+  double trace = 0.0;
+  for (std::size_t i = 0; i < gram.rows(); ++i) trace += gram(i, i);
+  const double unit =
+      trace > 0.0 ? trace / static_cast<double>(gram.rows()) : 1.0;
+  double ridge = 0.0;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    try {
+      if (ridge > 0.0)
+        for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
+      return linalg::Cholesky(gram).solve(cross);
+    } catch (const ContractError&) {
+      ridge = ridge == 0.0 ? 1e-12 * unit : ridge * 1e3;
+    }
+  }
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
+  return linalg::Cholesky(gram).solve(cross);  // last attempt may throw
+}
+
+}  // namespace
+
+DegradedModelBank::DegradedModelBank(PlacementModel model,
+                                     const linalg::Matrix& x_train,
+                                     const linalg::Matrix& f_train)
+    : model_(std::move(model)) {
+  const std::size_t n = x_train.cols();
+  VMAP_REQUIRE(f_train.cols() == n,
+               "X and F training matrices must share the sample axis");
+  VMAP_REQUIRE(n >= 2, "need at least two training samples");
+  VMAP_REQUIRE(f_train.rows() == model_.num_blocks(),
+               "F training rows must match the model's blocks");
+  const auto& sensor_rows = model_.sensor_rows();
+  VMAP_REQUIRE(!sensor_rows.empty(), "model has no sensors");
+  VMAP_REQUIRE(sensor_rows.back() < x_train.rows(),
+               "model sensors exceed the training candidate rows");
+
+  // Capture each core's augmented Gram statistics: everything any healthy
+  // subset's OLS refit will ever need.
+  stats_.reserve(model_.cores().size());
+  for (const auto& core : model_.cores()) {
+    CoreStats st;
+    const std::size_t q = core.selected_rows.size();
+    st.sensor_positions.reserve(q);
+    for (std::size_t row : core.selected_rows)
+      st.sensor_positions.push_back(position_in(sensor_rows, row));
+
+    std::vector<const double*> x_rows(q);
+    for (std::size_t j = 0; j < q; ++j)
+      x_rows[j] = x_train.row_data(core.selected_rows[j]);
+
+    st.gram = linalg::Matrix(q + 1, q + 1);
+    for (std::size_t a = 0; a < q; ++a) {
+      for (std::size_t b = a; b < q; ++b) {
+        double acc = 0.0;
+        for (std::size_t s = 0; s < n; ++s) acc += x_rows[a][s] * x_rows[b][s];
+        st.gram(a, b) = acc;
+        st.gram(b, a) = acc;
+      }
+      double row_sum = 0.0;
+      for (std::size_t s = 0; s < n; ++s) row_sum += x_rows[a][s];
+      st.gram(a, q) = row_sum;
+      st.gram(q, a) = row_sum;
+    }
+    st.gram(q, q) = static_cast<double>(n);
+
+    const std::size_t k_count = core.block_rows.size();
+    st.cross = linalg::Matrix(q + 1, k_count);
+    for (std::size_t k = 0; k < k_count; ++k) {
+      const double* f_row = f_train.row_data(core.block_rows[k]);
+      for (std::size_t a = 0; a < q; ++a) {
+        double acc = 0.0;
+        for (std::size_t s = 0; s < n; ++s) acc += x_rows[a][s] * f_row[s];
+        st.cross(a, k) = acc;
+      }
+      double f_sum = 0.0;
+      for (std::size_t s = 0; s < n; ++s) f_sum += f_row[s];
+      st.cross(q, k) = f_sum;
+    }
+    stats_.push_back(std::move(st));
+  }
+
+  // Eager leave-one-out pass: the single-fault fallbacks must be ready
+  // before the first fault is ever flagged.
+  const std::size_t q_total = sensor_rows.size();
+  for (std::size_t drop = 0; drop < q_total; ++drop) {
+    std::vector<bool> mask(q_total, true);
+    mask[drop] = false;
+    fallbacks_.emplace(mask, build_fallback(mask));
+  }
+}
+
+DegradedModelBank::Fallback DegradedModelBank::build_fallback(
+    const std::vector<bool>& healthy) const {
+  Fallback fb;
+  fb.cores.reserve(stats_.size());
+  for (const auto& st : stats_) {
+    const std::size_t q = st.sensor_positions.size();
+    std::vector<std::size_t> keep;  // local indices of surviving sensors
+    for (std::size_t j = 0; j < q; ++j)
+      if (healthy[st.sensor_positions[j]]) keep.push_back(j);
+
+    // Restricted augmented system: surviving sensors plus the intercept.
+    std::vector<std::size_t> idx = keep;
+    idx.push_back(q);  // intercept row/col is last in the Gram
+    const std::size_t d = idx.size();
+    linalg::Matrix gram(d, d);
+    for (std::size_t a = 0; a < d; ++a)
+      for (std::size_t b = 0; b < d; ++b)
+        gram(a, b) = st.gram(idx[a], idx[b]);
+    linalg::Matrix cross(d, st.cross.cols());
+    for (std::size_t a = 0; a < d; ++a)
+      for (std::size_t k = 0; k < st.cross.cols(); ++k)
+        cross(a, k) = st.cross(idx[a], k);
+
+    const linalg::Matrix coef = solve_spd_with_ridge(std::move(gram), cross);
+
+    CoreFallback cf;
+    cf.reading_positions.reserve(keep.size());
+    for (std::size_t j : keep)
+      cf.reading_positions.push_back(st.sensor_positions[j]);
+    const std::size_t k_count = st.cross.cols();
+    cf.alpha = linalg::Matrix(k_count, keep.size());
+    cf.intercept = linalg::Vector(k_count);
+    for (std::size_t k = 0; k < k_count; ++k) {
+      for (std::size_t j = 0; j < keep.size(); ++j)
+        cf.alpha(k, j) = coef(j, k);
+      cf.intercept[k] = coef(keep.size(), k);
+    }
+    fb.cores.push_back(std::move(cf));
+  }
+  return fb;
+}
+
+const DegradedModelBank::Fallback& DegradedModelBank::fallback_for(
+    const std::vector<bool>& healthy) {
+  auto it = fallbacks_.find(healthy);
+  if (it == fallbacks_.end()) {
+    VMAP_LOG(kInfo) << "degraded bank: refitting fallback for a new "
+                       "healthy-sensor subset";
+    it = fallbacks_.emplace(healthy, build_fallback(healthy)).first;
+  }
+  return it->second;
+}
+
+linalg::Vector DegradedModelBank::predict(const linalg::Vector& readings,
+                                          const std::vector<bool>& healthy) {
+  const std::size_t q = sensors();
+  VMAP_REQUIRE(readings.size() == q,
+               "readings must align with the placed sensors");
+  VMAP_REQUIRE(healthy.size() == q,
+               "healthy mask must align with the placed sensors");
+  if (std::all_of(healthy.begin(), healthy.end(), [](bool h) { return h; }))
+    return model_.predict_from_sensor_readings(readings);
+
+  const Fallback& fb = fallback_for(healthy);
+  linalg::Vector f_pred(model_.num_blocks());
+  for (std::size_t ci = 0; ci < fb.cores.size(); ++ci) {
+    const CoreFallback& cf = fb.cores[ci];
+    linalg::Vector x_sel(cf.reading_positions.size());
+    for (std::size_t j = 0; j < cf.reading_positions.size(); ++j)
+      x_sel[j] = readings[cf.reading_positions[j]];
+    linalg::Vector f_core = linalg::matvec(cf.alpha, x_sel);
+    const auto& block_rows = model_.cores()[ci].block_rows;
+    for (std::size_t k = 0; k < block_rows.size(); ++k)
+      f_pred[block_rows[k]] = f_core[k] + cf.intercept[k];
+  }
+  return f_pred;
+}
+
+}  // namespace vmap::core

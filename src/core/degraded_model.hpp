@@ -1,0 +1,82 @@
+#pragma once
+// Graceful degradation: fallback predictors for faulty-sensor operation.
+//
+// When the fault detector declares a sensor dead, the fitted PlacementModel
+// must not keep multiplying its coefficients into garbage readings. The
+// bank therefore captures, at fit time, each core's training Gram
+// statistics over its selected sensors — G = [X;1][X;1]^T and
+// C = [X;1]F^T — which are all OLS needs: the refit restricted to any
+// healthy subset S solves G[S,S] a = C[S] by Cholesky, without re-touching
+// the (large) training matrices. Every leave-one-sensor-out refit is
+// precomputed eagerly (the single-fault case must swap in with zero
+// latency); arbitrary multi-fault subsets are refit on demand from the same
+// Gram statistics and cached.
+//
+// The all-healthy path never goes through the Gram refit: it delegates to
+// the base PlacementModel coefficients verbatim, so fault tolerance costs
+// nothing — bit-identical predictions — until a fault is actually flagged.
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace vmap::core {
+
+/// Precomputed fallback OLS refits over healthy-sensor subsets.
+class DegradedModelBank {
+ public:
+  /// Captures Gram statistics from the training data (`x_train` is the full
+  /// M x N candidate matrix, `f_train` the K x N block responses the model
+  /// was fitted on) and precomputes all Q leave-one-out refits.
+  DegradedModelBank(PlacementModel model, const linalg::Matrix& x_train,
+                    const linalg::Matrix& f_train);
+
+  const PlacementModel& model() const { return model_; }
+  std::size_t sensors() const { return model_.sensor_rows().size(); }
+
+  /// Predicts all block voltages using only the sensors marked healthy.
+  /// `healthy` aligns with model().sensor_rows(); faulty entries of
+  /// `readings` are ignored. All-healthy delegates to the base model
+  /// (bit-identical to PlacementModel::predict_from_sensor_readings).
+  /// Throws if the mask size mismatches. An all-faulty mask degrades to the
+  /// intercept-only model (training-mean voltages) — the last-resort
+  /// prediction when every sensor is lost.
+  linalg::Vector predict(const linalg::Vector& readings,
+                         const std::vector<bool>& healthy);
+
+  /// Distinct fallback refits materialized so far (>= Q from the eager
+  /// leave-one-out pass).
+  std::size_t cached_fallbacks() const { return fallbacks_.size(); }
+
+ private:
+  /// One core's refit restricted to a healthy subset of its sensors.
+  struct CoreFallback {
+    /// Positions into the chip-wide sensor list feeding this core's model.
+    std::vector<std::size_t> reading_positions;
+    linalg::Matrix alpha;      ///< K_core x |healthy subset of the core|
+    linalg::Vector intercept;  ///< K_core
+  };
+  /// Chip-wide fallback, keyed by the healthy mask.
+  struct Fallback {
+    std::vector<CoreFallback> cores;
+  };
+  /// Per-core training statistics for on-demand refits.
+  struct CoreStats {
+    std::vector<std::size_t> sensor_positions;  ///< chip-wide list positions
+    linalg::Matrix gram;   ///< (Q_c+1) x (Q_c+1), [X;1][X;1]^T
+    linalg::Matrix cross;  ///< (Q_c+1) x K_core,  [X;1] F^T
+  };
+
+  const Fallback& fallback_for(const std::vector<bool>& healthy);
+  Fallback build_fallback(const std::vector<bool>& healthy) const;
+
+  PlacementModel model_;
+  std::vector<CoreStats> stats_;  ///< aligned with model_.cores()
+  std::map<std::vector<bool>, Fallback> fallbacks_;
+};
+
+}  // namespace vmap::core

@@ -1,5 +1,7 @@
 #include "core/online_monitor.hpp"
 
+#include <cmath>
+
 #include "util/assert.hpp"
 
 namespace vmap::core {
@@ -13,10 +15,38 @@ OnlineMonitor::OnlineMonitor(PlacementModel model, OnlineMonitorConfig config)
                "debounce counts must be >= 1");
 }
 
+OnlineMonitor::OnlineMonitor(PlacementModel model, OnlineMonitorConfig config,
+                             SensorFaultDetector detector,
+                             DegradedModelBank bank)
+    : OnlineMonitor(std::move(model), config) {
+  VMAP_REQUIRE(detector.sensors() == model_.sensor_rows().size(),
+               "detector was trained for a different sensor set");
+  VMAP_REQUIRE(bank.sensors() == model_.sensor_rows().size(),
+               "fallback bank was built for a different sensor set");
+  detector_.emplace(std::move(detector));
+  bank_.emplace(std::move(bank));
+}
+
 OnlineMonitor::Decision OnlineMonitor::observe(
     const linalg::Vector& sensor_readings) {
+  VMAP_REQUIRE(sensor_readings.size() == model_.sensor_rows().size(),
+               "readings must align with the model's placed sensors");
+  for (std::size_t i = 0; i < sensor_readings.size(); ++i)
+    VMAP_REQUIRE(std::isfinite(sensor_readings[i]),
+                 "sensor reading is not finite");
+
   Decision decision;
-  decision.predicted = model_.predict_from_sensor_readings(sensor_readings);
+  if (detector_) {
+    detector_->observe(sensor_readings);
+    decision.faulty_sensors = detector_->faulty_count();
+    if (decision.faulty_sensors > 0) {
+      decision.degraded = true;
+      decision.predicted =
+          bank_->predict(sensor_readings, detector_->healthy_mask());
+    }
+  }
+  if (!decision.degraded)
+    decision.predicted = model_.predict_from_sensor_readings(sensor_readings);
 
   decision.worst_voltage = decision.predicted[0];
   for (std::size_t k = 0; k < decision.predicted.size(); ++k) {
@@ -43,16 +73,30 @@ OnlineMonitor::Decision OnlineMonitor::observe(
   decision.alarm = alarm_;
   ++samples_;
   if (alarm_) ++alarm_samples_;
+  if (decision.degraded) {
+    ++degraded_samples_;
+    if (!degraded_) ++degraded_episodes_;
+  }
+  degraded_ = decision.degraded;
   return decision;
+}
+
+std::vector<SensorHealth> OnlineMonitor::sensor_health() const {
+  if (!detector_) return {};
+  return detector_->health();
 }
 
 void OnlineMonitor::reset() {
   alarm_ = false;
+  degraded_ = false;
   crossing_streak_ = 0;
   safe_streak_ = 0;
   samples_ = 0;
   alarm_samples_ = 0;
   alarm_episodes_ = 0;
+  degraded_samples_ = 0;
+  degraded_episodes_ = 0;
+  if (detector_) detector_->reset();
 }
 
 }  // namespace vmap::core

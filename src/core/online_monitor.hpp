@@ -3,17 +3,28 @@
 //
 // Wraps a fitted PlacementModel into the component a dynamic noise
 // management loop would actually integrate (paper §2.4's closing remark:
-// at runtime only Eq. (20) is evaluated). Adds the two things hardware
+// at runtime only Eq. (20) is evaluated). Adds the things hardware
 // deployments need beyond raw prediction:
 //
 //  * debouncing — an alarm asserts only after `alarm_consecutive`
 //    consecutive crossing predictions and releases after
 //    `release_consecutive` safe ones, filtering single-sample noise so the
 //    (expensive) throttling machinery is not toggled spuriously;
-//  * accounting — alarm/crossing statistics for post-hoc evaluation.
+//  * fault tolerance (optional) — a SensorFaultDetector is consulted every
+//    sample and, while any sensor is flagged faulty, predictions come from
+//    the DegradedModelBank's fallback refit over the healthy subset instead
+//    of the base model. With every sensor healthy the base model is used
+//    verbatim, so the fault-tolerant monitor is bit-identical to the plain
+//    one until a fault is actually flagged;
+//  * accounting — alarm/crossing and degraded-mode statistics for post-hoc
+//    evaluation.
 
 #include <cstddef>
+#include <optional>
+#include <vector>
 
+#include "core/degraded_model.hpp"
+#include "core/fault_detector.hpp"
 #include "core/pipeline.hpp"
 #include "linalg/vector.hpp"
 
@@ -32,6 +43,12 @@ class OnlineMonitor {
   /// synthesized hardware table would).
   OnlineMonitor(PlacementModel model, OnlineMonitorConfig config);
 
+  /// Fault-tolerant variant: the detector is consulted on every sample and
+  /// faulty sensors are routed around via the bank's fallback refits. Both
+  /// must have been trained for the same sensor set as `model`.
+  OnlineMonitor(PlacementModel model, OnlineMonitorConfig config,
+                SensorFaultDetector detector, DegradedModelBank bank);
+
   /// Per-sample decision record.
   struct Decision {
     bool alarm = false;          ///< debounced alarm state after this sample
@@ -39,9 +56,13 @@ class OnlineMonitor {
     std::size_t worst_row = 0;   ///< monitored row with the lowest prediction
     double worst_voltage = 0.0;  ///< that prediction (V)
     linalg::Vector predicted;    ///< all monitored rows' predictions
+    bool degraded = false;       ///< prediction came from a fallback model
+    std::size_t faulty_sensors = 0;  ///< sensors flagged at this sample
   };
 
   /// Consumes one reading vector (aligned with the model's sensor_rows()).
+  /// Throws ContractError on a size mismatch or any non-finite reading —
+  /// NaN/Inf must not silently propagate into alarm decisions.
   Decision observe(const linalg::Vector& sensor_readings);
 
   const PlacementModel& model() const { return model_; }
@@ -54,17 +75,32 @@ class OnlineMonitor {
   std::size_t alarm_episodes() const { return alarm_episodes_; }
   bool alarm_active() const { return alarm_; }
 
+  /// True when constructed with a detector + fallback bank.
+  bool fault_tolerant() const { return detector_.has_value(); }
+  /// Per-sensor health (empty for a non-fault-tolerant monitor).
+  std::vector<SensorHealth> sensor_health() const;
+  /// Samples predicted by a fallback model (any sensor flagged).
+  std::size_t degraded_samples() const { return degraded_samples_; }
+  /// Distinct degraded-mode episodes (entries into degraded operation).
+  std::size_t degraded_episodes() const { return degraded_episodes_; }
+  bool degraded_active() const { return degraded_; }
+
   void reset();
 
  private:
   PlacementModel model_;
   OnlineMonitorConfig config_;
+  std::optional<SensorFaultDetector> detector_;
+  std::optional<DegradedModelBank> bank_;
   bool alarm_ = false;
+  bool degraded_ = false;
   std::size_t crossing_streak_ = 0;
   std::size_t safe_streak_ = 0;
   std::size_t samples_ = 0;
   std::size_t alarm_samples_ = 0;
   std::size_t alarm_episodes_ = 0;
+  std::size_t degraded_samples_ = 0;
+  std::size_t degraded_episodes_ = 0;
 };
 
 }  // namespace vmap::core

@@ -1,5 +1,6 @@
 #include "core/sensor_noise.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/assert.hpp"
@@ -11,12 +12,18 @@ double quantize(double value, double lsb) {
   if (lsb <= 0.0) return value;
   return std::round(value / lsb) * lsb;
 }
+
+/// Physical range clamp applied after noise + quantization.
+double clamp_to_rail(double value, const SensorNoiseModel& model) {
+  return std::clamp(value, 0.0, model.vdd);
+}
 }  // namespace
 
 linalg::Matrix apply_sensor_noise(const linalg::Matrix& readings,
                                   const SensorNoiseModel& model,
                                   std::uint64_t seed) {
   if (model.is_ideal()) return readings;
+  VMAP_REQUIRE(model.vdd > 0.0, "noise model vdd must be positive");
   Rng rng(seed);
   const linalg::Vector offsets =
       draw_sensor_offsets(readings.rows(), model, rng.next_u64());
@@ -28,7 +35,7 @@ linalg::Matrix apply_sensor_noise(const linalg::Matrix& readings,
       double v = src[c] + offsets[r];
       if (model.gaussian_sigma > 0.0)
         v += rng.normal(0.0, model.gaussian_sigma);
-      dst[c] = quantize(v, model.lsb);
+      dst[c] = clamp_to_rail(quantize(v, model.lsb), model);
     }
   }
   return noisy;
@@ -40,11 +47,12 @@ linalg::Vector apply_sensor_noise(const linalg::Vector& reading,
   VMAP_REQUIRE(offsets.size() == reading.size(),
                "offsets must match sensor count");
   if (model.is_ideal()) return reading;
+  VMAP_REQUIRE(model.vdd > 0.0, "noise model vdd must be positive");
   linalg::Vector noisy(reading.size());
   for (std::size_t i = 0; i < reading.size(); ++i) {
     double v = reading[i] + offsets[i];
     if (model.gaussian_sigma > 0.0) v += rng.normal(0.0, model.gaussian_sigma);
-    noisy[i] = quantize(v, model.lsb);
+    noisy[i] = clamp_to_rail(quantize(v, model.lsb), model);
   }
   return noisy;
 }

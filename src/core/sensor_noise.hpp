@@ -21,6 +21,10 @@ struct SensorNoiseModel {
   double gaussian_sigma = 0.0;  ///< thermal noise std-dev (V)
   double offset_sigma = 0.0;    ///< per-sensor fixed offset std-dev (V)
   double lsb = 0.0;             ///< ADC quantization step (V); 0 = none
+  /// Supply rail (V): noisy/quantized readings are clamped to [0, vdd] — a
+  /// real ADC cannot report below ground or above its reference, so large
+  /// Gaussian draws must not produce unphysical (e.g. negative) voltages.
+  double vdd = 1.0;
 
   bool is_ideal() const {
     return gaussian_sigma == 0.0 && offset_sigma == 0.0 && lsb == 0.0;

@@ -1,10 +1,29 @@
 #include "util/csv.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 #include "util/assert.hpp"
 
 namespace vmap {
+
+double parse_csv_number(const std::string& cell, std::size_t line_no,
+                        const std::string& context) {
+  auto fail = [&](const char* why) -> double {
+    throw std::runtime_error(context + ": " + why + " at line " +
+                             std::to_string(line_no) + ": '" + cell + "'");
+  };
+  const char* begin = cell.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin) return fail("bad number");
+  while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+  if (*end != '\0') return fail("trailing garbage after number");
+  if (!std::isfinite(value)) return fail("non-finite value");
+  return value;
+}
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)

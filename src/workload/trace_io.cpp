@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/csv.hpp"
 
 namespace vmap::workload {
 
@@ -80,12 +81,9 @@ PowerTrace PowerTrace::load_csv(const std::string& path) {
       if (!std::getline(ss, cell, ','))
         throw std::runtime_error("trace csv row too short at line " +
                                  std::to_string(line_no));
-      try {
-        row[b] = std::stod(cell);
-      } catch (const std::exception&) {
-        throw std::runtime_error("trace csv bad number at line " +
-                                 std::to_string(line_no) + ": " + cell);
-      }
+      // parse_csv_number also rejects NaN/Inf, which std::stod would
+      // otherwise accept as valid activity.
+      row[b] = parse_csv_number(cell, line_no, "trace csv");
       VMAP_REQUIRE(row[b] >= 0.0, "trace activity must be non-negative");
     }
     if (std::getline(ss, cell, ','))

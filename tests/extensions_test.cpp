@@ -316,8 +316,26 @@ TEST(SensorNoise, QuantizationSnapsToLsb) {
   EXPECT_NEAR(out(0, 1), 0.900, 1e-12);
 }
 
+TEST(SensorNoise, ReadingsAreClampedToSupplyRails) {
+  linalg::Matrix readings(1, 2);
+  readings(0, 0) = 0.999;  // offset pushes above VDD
+  readings(0, 1) = 0.001;  // offset pushes below ground
+  SensorNoiseModel model;
+  model.vdd = 1.0;
+  model.offset_sigma = 0.01;  // non-ideal so the noise path actually runs
+  Rng rng(3);
+  const linalg::Vector offsets{0.05};
+  linalg::Vector high(1, 0.999);
+  EXPECT_DOUBLE_EQ(apply_sensor_noise(high, model, offsets, rng)[0], 1.0);
+  const linalg::Vector neg_offsets{-0.05};
+  linalg::Vector low(1, 0.001);
+  EXPECT_DOUBLE_EQ(apply_sensor_noise(low, model, neg_offsets, rng)[0], 0.0);
+}
+
 TEST(SensorNoise, GaussianNoiseHasRequestedScale) {
-  linalg::Matrix readings(1, 20000, 1.0);
+  // Fill away from the VDD rail so the [0, vdd] clamp cannot truncate the
+  // Gaussian tails and bias the measured moments.
+  linalg::Matrix readings(1, 20000, 0.9);
   SensorNoiseModel model;
   model.gaussian_sigma = 0.003;
   const auto out = apply_sensor_noise(readings, model, 42);
@@ -329,12 +347,12 @@ TEST(SensorNoise, GaussianNoiseHasRequestedScale) {
     var += d * d;
   }
   var /= static_cast<double>(out.cols() - 1);
-  EXPECT_NEAR(mean, 1.0, 1e-4);
+  EXPECT_NEAR(mean, 0.9, 1e-4);
   EXPECT_NEAR(std::sqrt(var), 0.003, 3e-4);
 }
 
 TEST(SensorNoise, OffsetsAreFixedPerSensor) {
-  linalg::Matrix readings(3, 50, 1.0);
+  linalg::Matrix readings(3, 50, 0.9);  // away from the rail clamp
   SensorNoiseModel model;
   model.offset_sigma = 0.01;
   const auto out = apply_sensor_noise(readings, model, 5);

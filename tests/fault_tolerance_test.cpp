@@ -1,0 +1,430 @@
+// Fault-tolerance stack tests: deterministic fault injection, detector
+// flag/recover hysteresis, leave-one-out fallback accuracy, and the
+// fault-tolerant online monitor's accounting + input validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "chip/floorplan.hpp"
+#include "core/dataset.hpp"
+#include "core/degraded_model.hpp"
+#include "core/experiment.hpp"
+#include "core/fault_detector.hpp"
+#include "core/fault_injection.hpp"
+#include "core/ols_model.hpp"
+#include "core/online_monitor.hpp"
+#include "core/pipeline.hpp"
+#include "grid/power_grid.hpp"
+#include "util/assert.hpp"
+#include "workload/benchmark_suite.hpp"
+
+namespace vmap::core {
+namespace {
+
+// ---- Fault injection (no dataset needed) --------------------------------
+
+TEST(FaultInjection, ScheduleWindowsAreRespected) {
+  SensorFaultModel model;
+  model.faults.push_back(SensorFault::stuck_at(0, 0.5, /*onset=*/3,
+                                               /*duration=*/4));
+  FaultInjector injector(model, 2);
+  for (std::size_t step = 0; step < 10; ++step) {
+    linalg::Vector r{0.9, 0.8};
+    injector.apply(step, r);
+    if (step >= 3 && step < 7) {
+      EXPECT_DOUBLE_EQ(r[0], 0.5) << "step " << step;
+    } else {
+      EXPECT_DOUBLE_EQ(r[0], 0.9) << "step " << step;
+    }
+    EXPECT_DOUBLE_EQ(r[1], 0.8);  // untargeted sensor untouched
+  }
+}
+
+TEST(FaultInjection, DeadSensorReadsRail) {
+  SensorFaultModel model;
+  model.faults.push_back(SensorFault::dead(1, /*onset=*/0));
+  FaultInjector injector(model, 3);
+  linalg::Vector r{0.9, 0.95, 0.92};
+  injector.apply(0, r);
+  EXPECT_DOUBLE_EQ(r[1], 0.0);
+}
+
+TEST(FaultInjection, DriftAccumulatesFromOnset) {
+  SensorFaultModel model;
+  model.faults.push_back(SensorFault::drift(0, -1e-3, /*onset=*/2));
+  FaultInjector injector(model, 1);
+  for (std::size_t step = 0; step < 6; ++step) {
+    linalg::Vector r{0.9};
+    injector.apply(step, r);
+    if (step < 2) {
+      EXPECT_DOUBLE_EQ(r[0], 0.9);
+    } else {
+      EXPECT_NEAR(r[0], 0.9 - 1e-3 * static_cast<double>(step - 1), 1e-12);
+    }
+  }
+}
+
+TEST(FaultInjection, IntermittentHoldsLastOutput) {
+  SensorFaultModel model;
+  model.faults.push_back(
+      SensorFault::intermittent(0, /*dropout_p=*/1.0, /*onset=*/1));
+  FaultInjector injector(model, 1);
+  linalg::Vector r{0.9};
+  injector.apply(0, r);
+  EXPECT_DOUBLE_EQ(r[0], 0.9);
+  // Every subsequent sample drops: the output freezes at the last value.
+  for (std::size_t step = 1; step < 5; ++step) {
+    linalg::Vector next{0.7 + 0.01 * static_cast<double>(step)};
+    injector.apply(step, next);
+    EXPECT_DOUBLE_EQ(next[0], 0.9) << "step " << step;
+  }
+}
+
+TEST(FaultInjection, SpikeAddsMagnitude) {
+  SensorFaultModel model;
+  model.faults.push_back(
+      SensorFault::spike(0, -0.05, /*p=*/1.0, /*onset=*/0));
+  FaultInjector injector(model, 1);
+  linalg::Vector r{0.9};
+  injector.apply(0, r);
+  EXPECT_NEAR(r[0], 0.85, 1e-12);
+}
+
+TEST(FaultInjection, StreamIsDeterministicInSeed) {
+  SensorFaultModel model;
+  model.seed = 1234;
+  model.faults.push_back(SensorFault::intermittent(0, 0.5, 0));
+  model.faults.push_back(SensorFault::spike(1, 0.02, 0.5, 0));
+
+  linalg::Matrix readings(2, 200);
+  for (std::size_t c = 0; c < readings.cols(); ++c) {
+    readings(0, c) = 0.90 + 0.001 * static_cast<double>(c % 7);
+    readings(1, c) = 0.95 - 0.001 * static_cast<double>(c % 5);
+  }
+  const linalg::Matrix a = apply_sensor_faults(readings, model);
+  const linalg::Matrix b = apply_sensor_faults(readings, model);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      EXPECT_DOUBLE_EQ(a(r, c), b(r, c));
+
+  // A different seed must realize a different stochastic stream.
+  SensorFaultModel reseeded = model;
+  reseeded.seed = 4321;
+  const linalg::Matrix d = apply_sensor_faults(readings, reseeded);
+  double max_diff = 0.0;
+  for (std::size_t c = 0; c < a.cols(); ++c)
+    max_diff = std::max(max_diff, std::abs(a(0, c) - d(0, c)));
+  EXPECT_GT(max_diff, 0.0);
+}
+
+TEST(FaultInjection, MatrixVariantMatchesStreaming) {
+  SensorFaultModel model;
+  model.faults.push_back(SensorFault::intermittent(0, 0.4, 3));
+  model.faults.push_back(SensorFault::drift(1, 2e-3, 5));
+
+  linalg::Matrix readings(2, 50);
+  for (std::size_t c = 0; c < readings.cols(); ++c) {
+    readings(0, c) = 0.9 + 0.002 * static_cast<double>(c % 3);
+    readings(1, c) = 0.88;
+  }
+  const linalg::Matrix batch = apply_sensor_faults(readings, model);
+
+  FaultInjector injector(model, 2);
+  for (std::size_t c = 0; c < readings.cols(); ++c) {
+    linalg::Vector column = readings.col(c);
+    injector.apply(c, column);
+    for (std::size_t r = 0; r < 2; ++r)
+      EXPECT_DOUBLE_EQ(column[r], batch(r, c)) << "col " << c;
+  }
+}
+
+TEST(FaultInjection, RejectsBadSchedules) {
+  SensorFaultModel out_of_range;
+  out_of_range.faults.push_back(SensorFault::dead(5, 0));
+  EXPECT_THROW(FaultInjector(out_of_range, 2), vmap::ContractError);
+
+  SensorFaultModel bad_p;
+  bad_p.faults.push_back(SensorFault::intermittent(0, 1.5, 0));
+  EXPECT_THROW(FaultInjector(bad_p, 2), vmap::ContractError);
+
+  SensorFaultModel ok;
+  ok.faults.push_back(SensorFault::dead(0, 0));
+  FaultInjector injector(ok, 2);
+  linalg::Vector wrong_size(3);
+  EXPECT_THROW(injector.apply(0, wrong_size), vmap::ContractError);
+}
+
+// ---- Dataset-backed fixture ---------------------------------------------
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    setup_ = new ExperimentSetup(small_setup());
+    grid_ = new grid::PowerGrid(setup_->grid);
+    plan_ = new chip::Floorplan(*grid_, setup_->floorplan);
+    auto suite = workload::parsec_like_suite();
+    suite.resize(2);
+    DataCollector collector(*grid_, *plan_, setup_->data);
+    data_ = new Dataset(collector.collect(suite));
+
+    PipelineConfig config;
+    config.lambda = 6.0;
+    config.sensors_per_core = 4;  // paper-scale sensor budget
+    model_ = new PlacementModel(fit_placement(*data_, *plan_, config));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete data_;
+    delete plan_;
+    delete grid_;
+    delete setup_;
+    model_ = nullptr;
+    data_ = nullptr;
+    plan_ = nullptr;
+    grid_ = nullptr;
+    setup_ = nullptr;
+  }
+
+  static linalg::Vector readings_at(std::size_t col) {
+    const auto& rows = model_->sensor_rows();
+    linalg::Vector r(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      r[i] = data_->x_test(rows[i], col);
+    return r;
+  }
+
+  static ExperimentSetup* setup_;
+  static grid::PowerGrid* grid_;
+  static chip::Floorplan* plan_;
+  static Dataset* data_;
+  static PlacementModel* model_;
+};
+
+ExperimentSetup* FaultToleranceTest::setup_ = nullptr;
+grid::PowerGrid* FaultToleranceTest::grid_ = nullptr;
+chip::Floorplan* FaultToleranceTest::plan_ = nullptr;
+Dataset* FaultToleranceTest::data_ = nullptr;
+PlacementModel* FaultToleranceTest::model_ = nullptr;
+
+// ---- Detector -----------------------------------------------------------
+
+
+TEST_F(FaultToleranceTest, DetectorStaysQuietOnCleanData) {
+  const linalg::Matrix x_train = data_->x_train.select_rows(
+      model_->sensor_rows());
+  SensorFaultDetector detector(x_train, {});
+  for (std::size_t s = 0; s < data_->x_test.cols(); ++s)
+    detector.observe(readings_at(s));
+  EXPECT_FALSE(detector.any_faulty());
+}
+
+TEST_F(FaultToleranceTest, DetectorFlagsDeadSensorAndRecovers) {
+  const linalg::Matrix x_train =
+      data_->x_train.select_rows(model_->sensor_rows());
+  FaultDetectorConfig dc;
+  dc.flag_consecutive = 3;
+  dc.recover_consecutive = 5;
+  SensorFaultDetector detector(x_train, dc);
+  const std::size_t q = detector.sensors();
+  ASSERT_GE(q, 2u);
+  const std::size_t victim = q / 2;
+
+  // Healthy warm-up.
+  for (std::size_t s = 0; s < 20; ++s) detector.observe(readings_at(s));
+  EXPECT_FALSE(detector.any_faulty());
+
+  // Kill the victim: must be flagged after exactly flag_consecutive
+  // out-of-bounds samples, and nobody else gets (mis)flagged.
+  std::size_t flagged_after = 0;
+  for (std::size_t s = 20; s < 60; ++s) {
+    linalg::Vector r = readings_at(s);
+    r[victim] = 0.0;
+    detector.observe(r);
+    if (detector.health()[victim] == SensorHealth::kFaulty) {
+      flagged_after = s - 20 + 1;
+      break;
+    }
+  }
+  EXPECT_EQ(flagged_after, dc.flag_consecutive);
+  EXPECT_EQ(detector.faulty_count(), 1u);
+
+  // Keep the fault active: the flag must hold.
+  for (std::size_t s = 60; s < 80; ++s) {
+    linalg::Vector r = readings_at(s);
+    r[victim] = 0.0;
+    detector.observe(r);
+  }
+  EXPECT_EQ(detector.health()[victim], SensorHealth::kFaulty);
+
+  // Fault clears: recovery needs recover_consecutive in-bound samples.
+  std::size_t recovered_after = 0;
+  for (std::size_t s = 80; s < 120; ++s) {
+    detector.observe(readings_at(s));
+    if (detector.health()[victim] == SensorHealth::kHealthy) {
+      recovered_after = s - 80 + 1;
+      break;
+    }
+  }
+  EXPECT_EQ(recovered_after, dc.recover_consecutive);
+  EXPECT_FALSE(detector.any_faulty());
+}
+
+TEST_F(FaultToleranceTest, SingleSensorDetectorIsUndetectableButSafe) {
+  linalg::Matrix lone(1, 50, 0.9);
+  SensorFaultDetector detector(lone, {});
+  linalg::Vector dead{0.0};
+  for (int s = 0; s < 20; ++s) detector.observe(dead);
+  EXPECT_FALSE(detector.any_faulty());  // no peers: cannot attribute
+}
+
+// ---- Degraded model bank ------------------------------------------------
+
+TEST_F(FaultToleranceTest, BankAllHealthyIsBitIdenticalToBaseModel) {
+  DegradedModelBank bank(*model_, data_->x_train, data_->f_train);
+  const std::vector<bool> healthy(bank.sensors(), true);
+  for (std::size_t s = 0; s < 10; ++s) {
+    const linalg::Vector r = readings_at(s);
+    const linalg::Vector base = model_->predict_from_sensor_readings(r);
+    const linalg::Vector via_bank = bank.predict(r, healthy);
+    for (std::size_t k = 0; k < base.size(); ++k)
+      EXPECT_EQ(via_bank[k], base[k]);  // exact, not approximate
+  }
+}
+
+TEST_F(FaultToleranceTest, LeaveOneOutFallbackStaysNearFullAccuracy) {
+  DegradedModelBank bank(*model_, data_->x_train, data_->f_train);
+  const std::size_t q = bank.sensors();
+  const std::size_t victim = q / 2;
+
+  const std::size_t n_test = data_->x_test.cols();
+  linalg::Matrix full_pred(data_->num_blocks(), n_test);
+  linalg::Matrix loo_pred(data_->num_blocks(), n_test);
+  linalg::Matrix corrupt_pred(data_->num_blocks(), n_test);
+  std::vector<bool> healthy(q, true);
+  healthy[victim] = false;
+  const std::vector<bool> all(q, true);
+  for (std::size_t s = 0; s < n_test; ++s) {
+    const linalg::Vector r = readings_at(s);
+    full_pred.set_col(s, model_->predict_from_sensor_readings(r));
+    loo_pred.set_col(s, bank.predict(r, healthy));
+    linalg::Vector dead = r;
+    dead[victim] = 0.0;  // undetected dead sensor feeding the base model
+    corrupt_pred.set_col(s, model_->predict_from_sensor_readings(dead));
+  }
+  const double rmse_full = rmse(data_->f_test, full_pred);
+  const double rmse_loo = rmse(data_->f_test, loo_pred);
+  const double rmse_corrupt = rmse(data_->f_test, corrupt_pred);
+
+  // Losing one of Q sensors must cost a refit's worth of accuracy, not the
+  // chip: bounded relative to the full model and far below the undetected
+  // corruption.
+  EXPECT_LT(rmse_loo, 5.0 * rmse_full + 2e-3);
+  EXPECT_LT(rmse_loo, 0.25 * rmse_corrupt);
+}
+
+TEST_F(FaultToleranceTest, BankHandlesMultiFaultAndAllFaulty) {
+  DegradedModelBank bank(*model_, data_->x_train, data_->f_train);
+  const std::size_t q = bank.sensors();
+  const std::size_t eager = bank.cached_fallbacks();
+  EXPECT_EQ(eager, q);  // one leave-one-out refit per sensor, precomputed
+
+  // Two sensors down: refit on demand, result still finite and plausible.
+  std::vector<bool> healthy(q, true);
+  healthy[0] = false;
+  healthy[q - 1] = false;
+  const linalg::Vector pred = bank.predict(readings_at(0), healthy);
+  for (std::size_t k = 0; k < pred.size(); ++k) {
+    EXPECT_TRUE(std::isfinite(pred[k]));
+    EXPECT_GT(pred[k], 0.0);
+    EXPECT_LT(pred[k], 1.5);
+  }
+  EXPECT_EQ(bank.cached_fallbacks(), eager + 1);
+
+  // Everything down: intercept-only last resort = training-mean voltages.
+  const std::vector<bool> none(q, false);
+  const linalg::Vector mean_pred = bank.predict(readings_at(0), none);
+  for (std::size_t k = 0; k < data_->num_blocks(); ++k) {
+    double mean = 0.0;
+    for (std::size_t s = 0; s < data_->f_train.cols(); ++s)
+      mean += data_->f_train(k, s);
+    mean /= static_cast<double>(data_->f_train.cols());
+    EXPECT_NEAR(mean_pred[k], mean, 1e-9);
+  }
+}
+
+// ---- Fault-tolerant monitor ---------------------------------------------
+
+TEST_F(FaultToleranceTest, MonitorRejectsMalformedReadings) {
+  OnlineMonitorConfig mc;
+  mc.emergency_threshold = setup_->data.emergency_threshold;
+  OnlineMonitor monitor(*model_, mc);
+
+  linalg::Vector wrong_size(model_->sensor_rows().size() + 1, 0.9);
+  EXPECT_THROW(monitor.observe(wrong_size), vmap::ContractError);
+
+  linalg::Vector with_nan = readings_at(0);
+  with_nan[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(monitor.observe(with_nan), vmap::ContractError);
+
+  linalg::Vector with_inf = readings_at(0);
+  with_inf[0] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(monitor.observe(with_inf), vmap::ContractError);
+
+  EXPECT_EQ(monitor.samples(), 0u);  // rejected samples are not counted
+}
+
+TEST_F(FaultToleranceTest, MonitorSwapsToFallbackAndCountsEpisodes) {
+  const linalg::Matrix x_train =
+      data_->x_train.select_rows(model_->sensor_rows());
+  FaultDetectorConfig dc;
+  dc.flag_consecutive = 3;
+  dc.recover_consecutive = 5;
+  SensorFaultDetector detector(x_train, dc);
+  DegradedModelBank bank(*model_, data_->x_train, data_->f_train);
+
+  OnlineMonitorConfig mc;
+  mc.emergency_threshold = setup_->data.emergency_threshold;
+  OnlineMonitor monitor(*model_, mc, std::move(detector), std::move(bank));
+  ASSERT_TRUE(monitor.fault_tolerant());
+
+  const std::size_t q = model_->sensor_rows().size();
+  const std::size_t victim = q / 2;
+
+  // Healthy stretch: predictions must be bit-identical to the base model.
+  for (std::size_t s = 0; s < 15; ++s) {
+    const linalg::Vector r = readings_at(s);
+    const auto decision = monitor.observe(r);
+    EXPECT_FALSE(decision.degraded);
+    const linalg::Vector base = model_->predict_from_sensor_readings(r);
+    for (std::size_t k = 0; k < base.size(); ++k)
+      EXPECT_EQ(decision.predicted[k], base[k]);
+  }
+  EXPECT_EQ(monitor.degraded_samples(), 0u);
+
+  // Dead sensor: after the flag streak the monitor must run degraded.
+  std::size_t degraded_seen = 0;
+  for (std::size_t s = 15; s < 45; ++s) {
+    linalg::Vector r = readings_at(s);
+    r[victim] = 0.0;
+    const auto decision = monitor.observe(r);
+    if (decision.degraded) {
+      ++degraded_seen;
+      EXPECT_EQ(decision.faulty_sensors, 1u);
+    }
+  }
+  EXPECT_GT(degraded_seen, 0u);
+  EXPECT_EQ(monitor.degraded_samples(), degraded_seen);
+  EXPECT_EQ(monitor.degraded_episodes(), 1u);
+  EXPECT_EQ(monitor.sensor_health()[victim], SensorHealth::kFaulty);
+
+  // Recovery closes the episode.
+  for (std::size_t s = 45; s < 60; ++s) monitor.observe(readings_at(s));
+  EXPECT_FALSE(monitor.degraded_active());
+  EXPECT_EQ(monitor.degraded_episodes(), 1u);
+  EXPECT_EQ(monitor.sensor_health()[victim], SensorHealth::kHealthy);
+}
+
+}  // namespace
+}  // namespace vmap::core

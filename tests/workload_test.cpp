@@ -4,16 +4,21 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <string>
 
 #include "chip/floorplan.hpp"
 #include "core/experiment.hpp"
 #include "grid/power_grid.hpp"
 #include "grid/transient.hpp"
 #include "util/assert.hpp"
+#include "util/csv.hpp"
 #include "workload/activity.hpp"
 #include "workload/benchmark_suite.hpp"
 #include "workload/power_model.hpp"
+#include "workload/trace_io.hpp"
 
 namespace vmap::workload {
 namespace {
@@ -256,6 +261,67 @@ TEST_F(WorkloadTest, PowerModelRejectsBadInputs) {
   linalg::Vector wrong_size(3);
   linalg::Vector out(grid_.node_count());
   EXPECT_THROW(model.to_node_currents(wrong_size, out), vmap::ContractError);
+}
+
+// ---- CSV hardening: non-finite and malformed cells must not load ---------
+
+namespace {
+/// Writes `body` to a temp CSV, returns the load_csv error message (empty
+/// string when the load unexpectedly succeeds).
+std::string load_error(const std::string& body) {
+  const std::string path = testing::TempDir() + "vmap_workload_bad.csv";
+  {
+    std::ofstream out(path);
+    out << body;
+  }
+  std::string message;
+  try {
+    workload::PowerTrace::load_csv(path);
+  } catch (const std::exception& e) {
+    message = e.what();
+  }
+  std::remove(path.c_str());
+  return message;
+}
+}  // namespace
+
+TEST(TraceCsv, RejectsNonFiniteCellsWithLineNumbers) {
+  // NaN on data line 3 (header is line 1).
+  std::string err = load_error("block_0,block_1\n1.0,2.0\nnan,2.0\n");
+  EXPECT_NE(err.find("non-finite"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+
+  err = load_error("block_0\n0.5\n0.5\ninf\n");
+  EXPECT_NE(err.find("non-finite"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 4"), std::string::npos) << err;
+
+  err = load_error("block_0\n-inf\n");
+  EXPECT_NE(err.find("non-finite"), std::string::npos) << err;
+}
+
+TEST(TraceCsv, RejectsGarbageCellsWithLineNumbers) {
+  std::string err = load_error("block_0,block_1\nfoo,1.0\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+
+  // A number followed by junk must not be silently truncated.
+  err = load_error("block_0\n1.0junk\n");
+  EXPECT_NE(err.find("trailing garbage"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+TEST(TraceCsv, ParseCsvNumberContract) {
+  EXPECT_DOUBLE_EQ(parse_csv_number("0.95", 7, "test"), 0.95);
+  EXPECT_DOUBLE_EQ(parse_csv_number(" 1e-3 ", 7, "test"), 1e-3);
+  EXPECT_THROW(parse_csv_number("nan", 7, "test"), std::runtime_error);
+  EXPECT_THROW(parse_csv_number("inf", 7, "test"), std::runtime_error);
+  EXPECT_THROW(parse_csv_number("", 7, "test"), std::runtime_error);
+  EXPECT_THROW(parse_csv_number("1.0x", 7, "test"), std::runtime_error);
+  try {
+    parse_csv_number("nan", 7, "test");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 7"), std::string::npos);
+  }
 }
 
 }  // namespace

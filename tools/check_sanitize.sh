@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds the repo with AddressSanitizer + UndefinedBehaviorSanitizer
+# (-DVMAP_SANITIZE=address,undefined) and runs the tier-1 test suite under
+# it. Any sanitizer report fails the run (halt_on_error / abort flags).
+#
+# Usage: tools/check_sanitize.sh [build-dir]   (default: build-sanitize)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . -DVMAP_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+echo "sanitize check passed (${BUILD_DIR})"
