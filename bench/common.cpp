@@ -1,6 +1,7 @@
 #include "common.hpp"
 
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace vmap::benchutil {
@@ -14,6 +15,9 @@ void add_common_flags(CliArgs& args) {
   args.add_flag("lambda-scale", "0.10",
                 "internal budget per unit of paper lambda");
   args.add_bool("verbose", false, "log collection progress");
+  args.add_flag("threads", "0",
+                "worker threads for collection/fitting (0 = VMAP_THREADS "
+                "env var, else all hardware threads; 1 = serial)");
   args.add_flag("emergency-rate", "0.30",
                 "calibrated chip-level emergency base rate (0 = use "
                 "--target-droop instead)");
@@ -30,6 +34,7 @@ void add_common_flags(CliArgs& args) {
 
 Platform load_platform(const CliArgs& args) {
   set_log_level(args.get_bool("verbose") ? LogLevel::kInfo : LogLevel::kWarn);
+  set_thread_count(static_cast<std::size_t>(args.get_int("threads")));
 
   Platform platform;
   platform.setup = core::default_setup();

@@ -14,6 +14,7 @@
 #include "core/eagle_eye.hpp"
 #include "core/emergency.hpp"
 #include "core/pipeline.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -59,10 +60,18 @@ int main(int argc, char** argv) {
                 data.benchmarks[bench].name.c_str());
     TablePrinter table({"sensors/core", "total", "EE ME", "EE WAE", "EE TE",
                         "our ME", "our WAE", "our TE"});
-    for (std::size_t per_core : counts) {
+    // Each sensor-budget point is an independent placement + fit; sweep
+    // them concurrently and print in order.
+    struct SweepPoint {
+      core::ErrorRates eagle, ours;
+      std::size_t total_sensors = 0;
+    };
+    std::vector<SweepPoint> points(counts.size());
+    parallel_for(0, counts.size(), [&](std::size_t i) {
+      const std::size_t per_core = counts[i];
       const auto eagle_rows =
           core::eagle_eye_place(data, *platform.floorplan, per_core, ee);
-      const auto eagle =
+      points[i].eagle =
           core::evaluate_sensor_detector(f_test, x_test, eagle_rows, vth);
 
       core::PipelineConfig config;
@@ -70,17 +79,20 @@ int main(int argc, char** argv) {
       config.sensors_per_core = per_core;
       const auto model =
           core::fit_placement(data, *platform.floorplan, config);
-      const auto ours = core::evaluate_prediction_detector(
+      points[i].ours = core::evaluate_prediction_detector(
           f_test, model.predict(x_test), vth);
-
-      table.add_row({TablePrinter::fmt(per_core),
-                     TablePrinter::fmt(model.sensor_rows().size()),
-                     TablePrinter::fmt(eagle.miss_rate(), 4),
-                     TablePrinter::fmt(eagle.wrong_alarm_rate(), 4),
-                     TablePrinter::fmt(eagle.total_error_rate(), 4),
-                     TablePrinter::fmt(ours.miss_rate(), 4),
-                     TablePrinter::fmt(ours.wrong_alarm_rate(), 4),
-                     TablePrinter::fmt(ours.total_error_rate(), 4)});
+      points[i].total_sensors = model.sensor_rows().size();
+    });
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const SweepPoint& p = points[i];
+      table.add_row({TablePrinter::fmt(counts[i]),
+                     TablePrinter::fmt(p.total_sensors),
+                     TablePrinter::fmt(p.eagle.miss_rate(), 4),
+                     TablePrinter::fmt(p.eagle.wrong_alarm_rate(), 4),
+                     TablePrinter::fmt(p.eagle.total_error_rate(), 4),
+                     TablePrinter::fmt(p.ours.miss_rate(), 4),
+                     TablePrinter::fmt(p.ours.wrong_alarm_rate(), 4),
+                     TablePrinter::fmt(p.ours.total_error_rate(), 4)});
     }
     table.print(std::cout);
     std::printf("\n(paper: proposed ME/TE below Eagle-Eye across the sweep; "

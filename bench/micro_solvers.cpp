@@ -9,9 +9,11 @@
 #include "grid/power_grid.hpp"
 #include "grid/transient.hpp"
 #include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
 #include "linalg/qr.hpp"
 #include "sparse/cg.hpp"
 #include "sparse/skyline_cholesky.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -68,14 +70,17 @@ void BM_GroupLassoFista(benchmark::State& state) {
 BENCHMARK(BM_GroupLassoFista)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_GroupLassoBudget(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
   const auto problem = planted_problem(128, 30, 1000);
   core::GroupLasso solver(problem);
+  set_thread_count(threads);
   for (auto _ : state) {
     benchmark::DoNotOptimize(solver.solve_budget(2.0));
   }
-  state.SetLabel("budget path, M=128");
+  set_thread_count(1);
+  state.SetLabel("budget path, M=128 threads=" + std::to_string(threads));
 }
-BENCHMARK(BM_GroupLassoBudget);
+BENCHMARK(BM_GroupLassoBudget)->Arg(1)->Arg(2);
 
 grid::GridConfig bench_grid(std::size_t n) {
   grid::GridConfig c;
@@ -136,6 +141,53 @@ void BM_TransientStep(benchmark::State& state) {
                  std::to_string(state.range(0)) + " grid");
 }
 BENCHMARK(BM_TransientStep)->Arg(32)->Arg(64)->Arg(96);
+
+// --- dense matmul: naive reference vs the cache-blocked kernel, and the
+// blocked kernel's thread scaling (labels carry a threads= column). The
+// blocked kernel is bit-identical to the naive one at every thread count;
+// only the wall clock should move.
+
+void BM_MatmulNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, 4 * n, 8);
+  const auto b = random_matrix(4 * n, n, 9);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(linalg::matmul_reference(a, b));
+  state.SetLabel("N=" + std::to_string(n) + "x" + std::to_string(4 * n) +
+                 " threads=1 naive");
+}
+BENCHMARK(BM_MatmulNaive)->Arg(128)->Arg(256)->Arg(384);
+
+void BM_MatmulBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto a = random_matrix(n, 4 * n, 8);
+  const auto b = random_matrix(4 * n, n, 9);
+  set_thread_count(threads);
+  for (auto _ : state) benchmark::DoNotOptimize(linalg::matmul(a, b));
+  set_thread_count(1);
+  state.SetLabel("N=" + std::to_string(n) + "x" + std::to_string(4 * n) +
+                 " threads=" + std::to_string(threads) + " blocked");
+}
+BENCHMARK(BM_MatmulBlocked)
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({384, 1})
+    ->Args({256, 2})
+    ->Args({384, 2})
+    ->Args({384, 4});
+
+void BM_GramMatrix(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto z = random_matrix(m, 4000, 10);
+  set_thread_count(threads);
+  for (auto _ : state) benchmark::DoNotOptimize(linalg::matmul_a_bt(z, z));
+  set_thread_count(1);
+  state.SetLabel("M=" + std::to_string(m) +
+                 " N=4000 threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_GramMatrix)->Args({128, 1})->Args({128, 2})->Args({256, 1})->Args({256, 2});
 
 void BM_QrLeastSquares(benchmark::State& state) {
   const auto a = random_matrix(1000, static_cast<std::size_t>(state.range(0)), 6);

@@ -1,0 +1,268 @@
+// Perf regression suite for the parallel execution layer.
+//
+// Times the four hot operations — full dataset collection, the per-core
+// GL+OLS placement fit, transient stepping (inherently sequential; its
+// speedup should hover near 1x and any regression is a red flag), and the
+// blocked dense matmul — at each requested thread count, prints a speedup
+// table, and writes machine-readable BENCH_perf.json so future PRs have a
+// perf trajectory to regress against.
+//
+// Collection and fitting are re-run at every thread count and the results
+// are compared against the 1-thread run: the suite FAILS (exit 1) if any
+// parallel dataset or model is not bit-identical to the serial one, so the
+// perf numbers can never come from a diverging computation.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chip/floorplan.hpp"
+#include "core/dataset.hpp"
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "grid/power_grid.hpp"
+#include "grid/transient.hpp"
+#include "linalg/matrix.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "workload/benchmark_suite.hpp"
+
+namespace {
+
+using namespace vmap;
+
+struct Measurement {
+  std::string op;
+  std::size_t threads = 0;
+  double wall_ms = 0.0;
+  double speedup = 1.0;  // vs the 1-thread run of the same op
+};
+
+std::vector<std::size_t> parse_thread_list(const std::string& spec) {
+  std::vector<std::size_t> list;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t next = spec.find(',', pos);
+    if (next == std::string::npos) next = spec.size();
+    const unsigned long v = std::stoul(spec.substr(pos, next - pos));
+    if (v >= 1) list.push_back(static_cast<std::size_t>(v));
+    pos = next + 1;
+  }
+  return list;
+}
+
+bool matrices_identical(const linalg::Matrix& a, const linalg::Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     a.rows() * a.cols() * sizeof(double)) == 0;
+}
+
+bool datasets_identical(const core::Dataset& a, const core::Dataset& b) {
+  return a.platform == b.platform && a.workload_hash == b.workload_hash &&
+         a.current_scale == b.current_scale &&
+         a.candidate_nodes == b.candidate_nodes &&
+         a.critical_nodes == b.critical_nodes &&
+         matrices_identical(a.x_train, b.x_train) &&
+         matrices_identical(a.f_train, b.f_train) &&
+         matrices_identical(a.x_test, b.x_test) &&
+         matrices_identical(a.f_test, b.f_test);
+}
+
+bool models_identical(const core::PlacementModel& a,
+                      const core::PlacementModel& b) {
+  if (a.sensor_rows() != b.sensor_rows() ||
+      a.cores().size() != b.cores().size())
+    return false;
+  for (std::size_t c = 0; c < a.cores().size(); ++c) {
+    const auto& ca = a.cores()[c];
+    const auto& cb = b.cores()[c];
+    if (ca.selected_rows != cb.selected_rows ||
+        !matrices_identical(ca.alpha, cb.alpha))
+      return false;
+    for (std::size_t k = 0; k < ca.intercept.size(); ++k)
+      if (ca.intercept[k] != cb.intercept[k]) return false;
+  }
+  return true;
+}
+
+void write_json(const std::string& path,
+                const std::vector<Measurement>& rows) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  {\"op\": \"%s\", \"threads\": %zu, \"wall_ms\": %.2f, "
+                  "\"speedup\": %.3f}%s\n",
+                  rows[i].op.c_str(), rows[i].threads, rows[i].wall_ms,
+                  rows[i].speedup, i + 1 < rows.size() ? "," : "");
+    out << line;
+  }
+  out << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(
+      "perf_suite — times collection / GL fit / transient stepping / matmul "
+      "at several thread counts, checks bit-identity to the serial path, "
+      "and writes BENCH_perf.json");
+  args.add_flag("threads-list", "",
+                "comma-separated thread counts (default: 1,2,<hardware>)");
+  args.add_flag("out", "BENCH_perf.json", "output JSON path");
+  args.add_bool("full", false,
+                "canonical full-size collection (default: reduced maps for "
+                "a fast regression run)");
+  args.add_flag("seed", "20150607", "experiment seed");
+  args.add_flag("transient-steps", "400", "transient stepping workload");
+  args.add_flag("matmul-size", "512", "edge N of the N x 4N * 4N x N matmul");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    set_log_level(LogLevel::kWarn);
+
+    std::vector<std::size_t> thread_list;
+    if (!args.get("threads-list").empty()) {
+      thread_list = parse_thread_list(args.get("threads-list"));
+    } else {
+      const unsigned hw = std::thread::hardware_concurrency();
+      thread_list = {1, 2};
+      if (hw > 2) thread_list.push_back(hw);
+    }
+    if (thread_list.empty() || thread_list.front() != 1)
+      thread_list.insert(thread_list.begin(), 1);
+
+    core::ExperimentSetup setup = core::default_setup();
+    setup.data.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    if (!args.get_bool("full")) {
+      setup.data.train_maps_per_benchmark = 60;
+      setup.data.test_maps_per_benchmark = 30;
+      setup.data.warmup_steps = 100;
+      setup.data.calibration_steps = 200;
+    }
+    const grid::PowerGrid grid(setup.grid);
+    const chip::Floorplan floorplan(grid, setup.floorplan);
+    const auto suite = workload::parsec_like_suite();
+
+    std::vector<Measurement> results;
+    bool identical = true;
+
+    // --- dataset collection + placement fit, per thread count ----------
+    core::Dataset serial_data;
+    double collect_ms1 = 0.0, fit_ms1 = 0.0;
+    for (std::size_t threads : thread_list) {
+      set_thread_count(threads);
+
+      Timer t_collect;
+      core::DataCollector collector(grid, floorplan, setup.data);
+      core::Dataset data = collector.collect(suite);
+      const double collect_ms = t_collect.millis();
+
+      Timer t_fit;
+      core::PipelineConfig pc;
+      pc.lambda = 6.0;
+      const core::PlacementModel model =
+          core::fit_placement(data, floorplan, pc);
+      const double fit_ms = t_fit.millis();
+
+      if (threads == thread_list.front()) {
+        collect_ms1 = collect_ms;
+        fit_ms1 = fit_ms;
+        serial_data = std::move(data);
+      } else {
+        if (!datasets_identical(serial_data, data)) {
+          std::fprintf(stderr,
+                       "FAIL: dataset at %zu threads differs from serial\n",
+                       threads);
+          identical = false;
+        }
+        set_thread_count(1);
+        const core::PlacementModel serial_model =
+            core::fit_placement(serial_data, floorplan, pc);
+        set_thread_count(threads);
+        if (!models_identical(serial_model, model)) {
+          std::fprintf(stderr,
+                       "FAIL: model at %zu threads differs from serial\n",
+                       threads);
+          identical = false;
+        }
+      }
+      results.push_back({"collect", threads, collect_ms,
+                         collect_ms > 0.0 ? collect_ms1 / collect_ms : 1.0});
+      results.push_back(
+          {"gl_fit", threads, fit_ms, fit_ms > 0.0 ? fit_ms1 / fit_ms : 1.0});
+      std::fprintf(stderr, "[perf] threads=%zu collect %.0f ms, fit %.0f ms\n",
+                   threads, collect_ms, fit_ms);
+    }
+
+    // --- transient stepping (sequential by construction) ---------------
+    const auto steps =
+        static_cast<std::size_t>(args.get_int("transient-steps"));
+    double transient_ms1 = 0.0;
+    for (std::size_t threads : thread_list) {
+      set_thread_count(threads);
+      grid::TransientSim sim(grid, setup.data.dt);
+      Rng rng(7);
+      linalg::Vector load(grid.node_count());
+      for (std::size_t i = 0; i < load.size(); ++i)
+        load[i] = rng.bernoulli(0.3) ? 1e-3 : 0.0;
+      Timer t;
+      for (std::size_t s = 0; s < steps; ++s) sim.step(load);
+      const double ms = t.millis();
+      if (threads == thread_list.front()) transient_ms1 = ms;
+      results.push_back({"transient_step", threads, ms,
+                         ms > 0.0 ? transient_ms1 / ms : 1.0});
+    }
+
+    // --- blocked matmul -------------------------------------------------
+    const auto n = static_cast<std::size_t>(args.get_int("matmul-size"));
+    Rng rng(11);
+    linalg::Matrix a(n, 4 * n), b(4 * n, n);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.normal();
+    for (std::size_t i = 0; i < b.rows(); ++i)
+      for (std::size_t j = 0; j < b.cols(); ++j) b(i, j) = rng.normal();
+    double matmul_ms1 = 0.0;
+    for (std::size_t threads : thread_list) {
+      set_thread_count(threads);
+      double best = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        Timer t;
+        const linalg::Matrix c = linalg::matmul(a, b);
+        const double ms = t.millis();
+        if (rep == 0 || ms < best) best = ms;
+        if (c(0, 0) == 12345.0) std::fprintf(stderr, "?");  // keep c alive
+      }
+      if (threads == thread_list.front()) matmul_ms1 = best;
+      results.push_back(
+          {"matmul", threads, best, best > 0.0 ? matmul_ms1 / best : 1.0});
+    }
+    set_thread_count(0);
+
+    // --- report ---------------------------------------------------------
+    TablePrinter table({"op", "threads", "wall(ms)", "speedup"});
+    for (const auto& m : results)
+      table.add_row({m.op, TablePrinter::fmt(m.threads),
+                     TablePrinter::fmt(m.wall_ms, 1),
+                     TablePrinter::fmt(m.speedup, 2)});
+    std::printf("== perf suite (bit-identity %s) ==\n",
+                identical ? "OK" : "FAILED");
+    table.print(std::cout);
+    write_json(args.get("out"), results);
+    std::printf("\nwrote %s\n", args.get("out").c_str());
+    if (!identical) return 1;
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -19,6 +19,7 @@
 #include "common.hpp"
 #include "core/ols_model.hpp"
 #include "core/pipeline.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -55,31 +56,41 @@ int main(int argc, char** argv) {
 
     TablePrinter table({"lambda", "budget", "#sensors/core", "#sensors total",
                         "rel error(%)", "rmse(mV)", "fit time(s)"});
-    for (double paper_lambda : lambdas) {
+    // The λ points are independent fits over the same dataset; run them
+    // concurrently and emit the rows in sweep order afterwards.
+    struct SweepPoint {
+      double budget = 0.0, rel = 0.0, rms = 0.0, fit_seconds = 0.0;
+      std::size_t sensors = 0;
+    };
+    std::vector<SweepPoint> points(lambdas.size());
+    parallel_for(0, lambdas.size(), [&](std::size_t i) {
       Timer timer;
       core::PipelineConfig config;
-      config.lambda = benchutil::scaled_lambda(args, paper_lambda);
+      config.lambda = benchutil::scaled_lambda(args, lambdas[i]);
       config.threshold = args.get_double("threshold");
       config.refit_ols = !args.get_bool("no-refit");
       const auto model =
           core::fit_placement(platform.data, *platform.floorplan, config);
-      const double fit_seconds = timer.seconds();
+      points[i].fit_seconds = timer.seconds();
 
       const linalg::Matrix f_pred = model.predict(platform.data.x_test);
-      const double rel =
-          core::relative_error(platform.data.f_test, f_pred);
-      const double rms = core::rmse(platform.data.f_test, f_pred);
+      points[i].budget = config.lambda;
+      points[i].rel = core::relative_error(platform.data.f_test, f_pred);
+      points[i].rms = core::rmse(platform.data.f_test, f_pred);
+      points[i].sensors = model.sensor_rows().size();
+    });
+    for (std::size_t i = 0; i < lambdas.size(); ++i) {
+      const SweepPoint& p = points[i];
       const double per_core =
-          static_cast<double>(model.sensor_rows().size()) /
+          static_cast<double>(p.sensors) /
           static_cast<double>(platform.floorplan->core_count());
-
-      table.add_row({TablePrinter::fmt(paper_lambda, 0),
-                     TablePrinter::fmt(config.lambda, 2),
+      table.add_row({TablePrinter::fmt(lambdas[i], 0),
+                     TablePrinter::fmt(p.budget, 2),
                      TablePrinter::fmt(per_core, 1),
-                     TablePrinter::fmt(model.sensor_rows().size()),
-                     TablePrinter::fmt(100.0 * rel, 3),
-                     TablePrinter::fmt(1e3 * rms, 2),
-                     TablePrinter::fmt(fit_seconds, 1)});
+                     TablePrinter::fmt(p.sensors),
+                     TablePrinter::fmt(100.0 * p.rel, 3),
+                     TablePrinter::fmt(1e3 * p.rms, 2),
+                     TablePrinter::fmt(p.fit_seconds, 1)});
     }
     table.print(std::cout);
     if (args.get_bool("no-refit")) {

@@ -10,6 +10,7 @@
 #include "grid/transient.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 #include "workload/activity.hpp"
 #include "workload/power_model.hpp"
@@ -151,12 +152,11 @@ Dataset DataCollector::collect(
   VMAP_REQUIRE(!data.candidate_nodes.empty(),
                "candidate stride removed every candidate node");
 
-  grid::TransientSim sim(grid_, config_.dt);
-
   // --- Calibration pass (unit current scale). The grid is linear, so the
   // per-node droop ranking and the worst-droop magnitude from a unit-scale
   // run determine both the critical nodes and the absolute scale.
   {
+    grid::TransientSim sim(grid_, config_.dt);
     workload::PowerModel unit_model(floorplan_, /*current_scale=*/1.0);
     workload::ActivityGenerator generator(floorplan_, suite.front(),
                                           Rng(config_.seed ^ 0xCA11B8A7E));
@@ -222,56 +222,72 @@ Dataset DataCollector::collect(
                data.critical_nodes.end());
 
   workload::PowerModel model(floorplan_, data.current_scale);
-  linalg::Vector currents(grid_.node_count());
 
-  for (std::size_t b = 0; b < n_benchmarks; ++b) {
-    Timer bench_timer;
-    const auto& profile = suite[b];
-    workload::ActivityGenerator generator(
-        floorplan_, profile, Rng(config_.seed + 0x9E3779B9 * (b + 1)));
-    sim.reset();
+  // Benchmarks are mutually independent: each gets its own activity RNG
+  // (derived from the seed and the benchmark index alone), its own reset
+  // simulator state, and writes a disjoint column range of the shared
+  // matrices at offsets fixed by the canonical suite order. The work is
+  // split into one chunk per pool thread, each chunk owning a transient
+  // engine (one factorization) and walking its benchmarks in order — at
+  // one thread this is exactly the serial loop, and at any thread count
+  // the dataset is bit-identical to it.
+  std::vector<BenchmarkSlice> slices(n_benchmarks);
+  const std::size_t chunks = std::min(n_benchmarks, thread_count());
+  parallel_for(0, chunks, [&](std::size_t chunk) {
+    grid::TransientSim worker_sim(grid_, config_.dt);
+    linalg::Vector currents(grid_.node_count());
+    const std::size_t b_begin = chunk * n_benchmarks / chunks;
+    const std::size_t b_end = (chunk + 1) * n_benchmarks / chunks;
+    for (std::size_t b = b_begin; b < b_end; ++b) {
+      Timer bench_timer;
+      const auto& profile = suite[b];
+      workload::ActivityGenerator generator(
+          floorplan_, profile, Rng(config_.seed + 0x9E3779B9 * (b + 1)));
+      worker_sim.reset();
 
-    for (std::size_t s = 0; s < config_.warmup_steps; ++s) {
-      model.to_node_currents(generator.step(), currents);
-      sim.step(currents);
+      for (std::size_t s = 0; s < config_.warmup_steps; ++s) {
+        model.to_node_currents(generator.step(), currents);
+        worker_sim.step(currents);
+      }
+
+      const std::size_t maps_needed = config_.train_maps_per_benchmark +
+                                      config_.test_maps_per_benchmark;
+      grid::MapSampler sampler(watch, config_.map_stride);
+      while (sampler.maps() < maps_needed) {
+        model.to_node_currents(generator.step(), currents);
+        sampler.observe(worker_sim.step(currents));
+      }
+      const linalg::Matrix maps = sampler.as_matrix();
+
+      BenchmarkSlice slice;
+      slice.name = profile.name;
+      slice.train_begin = b * config_.train_maps_per_benchmark;
+      slice.train_end = slice.train_begin + config_.train_maps_per_benchmark;
+      slice.test_begin = b * config_.test_maps_per_benchmark;
+      slice.test_end = slice.test_begin + config_.test_maps_per_benchmark;
+
+      // Time-split: earlier maps train, later maps test (no leakage).
+      for (std::size_t c = 0; c < config_.train_maps_per_benchmark; ++c) {
+        const std::size_t dst = slice.train_begin + c;
+        for (std::size_t r = 0; r < m_count; ++r)
+          data.x_train(r, dst) = maps(r, c);
+        for (std::size_t r = 0; r < k_count; ++r)
+          data.f_train(r, dst) = maps(m_count + r, c);
+      }
+      for (std::size_t c = 0; c < config_.test_maps_per_benchmark; ++c) {
+        const std::size_t src = config_.train_maps_per_benchmark + c;
+        const std::size_t dst = slice.test_begin + c;
+        for (std::size_t r = 0; r < m_count; ++r)
+          data.x_test(r, dst) = maps(r, src);
+        for (std::size_t r = 0; r < k_count; ++r)
+          data.f_test(r, dst) = maps(m_count + r, src);
+      }
+      slices[b] = std::move(slice);
+      VMAP_LOG(kInfo) << profile.name << ": " << maps_needed << " maps in "
+                      << bench_timer.seconds() << " s";
     }
-
-    const std::size_t maps_needed = config_.train_maps_per_benchmark +
-                                    config_.test_maps_per_benchmark;
-    grid::MapSampler sampler(watch, config_.map_stride);
-    while (sampler.maps() < maps_needed) {
-      model.to_node_currents(generator.step(), currents);
-      sampler.observe(sim.step(currents));
-    }
-    const linalg::Matrix maps = sampler.as_matrix();
-
-    BenchmarkSlice slice;
-    slice.name = profile.name;
-    slice.train_begin = b * config_.train_maps_per_benchmark;
-    slice.train_end = slice.train_begin + config_.train_maps_per_benchmark;
-    slice.test_begin = b * config_.test_maps_per_benchmark;
-    slice.test_end = slice.test_begin + config_.test_maps_per_benchmark;
-
-    // Time-split: earlier maps train, later maps test (no leakage).
-    for (std::size_t c = 0; c < config_.train_maps_per_benchmark; ++c) {
-      const std::size_t dst = slice.train_begin + c;
-      for (std::size_t r = 0; r < m_count; ++r)
-        data.x_train(r, dst) = maps(r, c);
-      for (std::size_t r = 0; r < k_count; ++r)
-        data.f_train(r, dst) = maps(m_count + r, c);
-    }
-    for (std::size_t c = 0; c < config_.test_maps_per_benchmark; ++c) {
-      const std::size_t src = config_.train_maps_per_benchmark + c;
-      const std::size_t dst = slice.test_begin + c;
-      for (std::size_t r = 0; r < m_count; ++r)
-        data.x_test(r, dst) = maps(r, src);
-      for (std::size_t r = 0; r < k_count; ++r)
-        data.f_test(r, dst) = maps(m_count + r, src);
-    }
-    data.benchmarks.push_back(std::move(slice));
-    VMAP_LOG(kInfo) << profile.name << ": " << maps_needed << " maps in "
-                    << bench_timer.seconds() << " s";
-  }
+  });
+  data.benchmarks = std::move(slices);
 
   VMAP_LOG(kInfo) << "dataset collected: M=" << m_count << " K=" << k_count
                   << " N_train=" << train_total << " N_test=" << test_total

@@ -9,9 +9,12 @@
 // current scale (worst droop = target) and picks each block's worst-noise
 // node as its critical node.
 //
-// Collection is deterministic in the config seed. Because full collection
-// costs minutes of simulation, datasets can be saved/loaded in a versioned
-// binary cache keyed by the configuration.
+// Collection is deterministic in the config seed. Benchmarks are simulated
+// concurrently on the thread pool (util/parallel.hpp) — each on its own
+// simulator/RNG, merged in canonical suite order — so the dataset, and
+// therefore its cache hash, is bit-identical at every thread count.
+// Because full collection costs minutes of simulation, datasets can be
+// saved/loaded in a versioned binary cache keyed by the configuration.
 
 #include <cstdint>
 #include <string>

@@ -8,6 +8,7 @@
 #include "core/sensor_selection.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 
 namespace vmap::core {
 
@@ -184,12 +185,16 @@ PlacementModel fit_placement(const Dataset& data,
 
   std::vector<CoreModel> cores;
   if (config.per_core) {
-    for (std::size_t c = 0; c < floorplan.core_count(); ++c) {
-      cores.push_back(fit_core(data, c,
-                               data.candidate_rows_for_core(floorplan, c),
-                               data.critical_rows_for_core(floorplan, c),
-                               config));
-    }
+    // The per-core problems are independent; fit them concurrently. Each
+    // core writes only its own slot, so the assembled model is identical
+    // to the serial fit at any thread count.
+    cores.resize(floorplan.core_count());
+    parallel_for(0, floorplan.core_count(), [&](std::size_t c) {
+      cores[c] = fit_core(data, c,
+                          data.candidate_rows_for_core(floorplan, c),
+                          data.critical_rows_for_core(floorplan, c),
+                          config);
+    });
   } else {
     std::vector<std::size_t> all_candidates(data.num_candidates());
     std::iota(all_candidates.begin(), all_candidates.end(), 0);

@@ -15,16 +15,25 @@ sparse::CsrMatrix build_step_matrix(const PowerGrid& grid, double dt,
   std::vector<double> values = g.values();
   const auto& row_ptr = g.row_ptr();
   const auto& col_idx = g.col_idx();
-  std::vector<bool> is_pad(g.rows(), false);
-  for (std::size_t pad : grid.pad_nodes()) is_pad[pad] = true;
   // Every node has at least one mesh/via segment, so its diagonal entry is
-  // stored explicitly.
+  // stored explicitly: one walk adds C/dt to every diagonal, and the few
+  // pad diagonals are patched directly from the pad list — no full-grid
+  // pad scan, and nothing extra at all for resistive (delta == 0) pads.
   for (std::size_t r = 0; r < g.rows(); ++r) {
     for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
       if (col_idx[k] == r) {
         values[k] += cap[r] / dt;
-        if (is_pad[r]) values[k] += pad_conductance_delta;
         break;
+      }
+    }
+  }
+  if (pad_conductance_delta != 0.0) {
+    for (std::size_t pad : grid.pad_nodes()) {
+      for (std::size_t k = row_ptr[pad]; k < row_ptr[pad + 1]; ++k) {
+        if (col_idx[k] == pad) {
+          values[k] += pad_conductance_delta;
+          break;
+        }
       }
     }
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 
 namespace vmap::linalg {
 
@@ -149,7 +150,130 @@ Matrix operator*(double s, Matrix m) {
   return m;
 }
 
+namespace {
+
+// Tile edges for the blocked kernels. kTileK keeps an operand slice in L1
+// across a C-row tile; kTileJ keeps the active C/B row segments resident
+// while k sweeps. The tile loops only regroup the (i, j, k) iteration —
+// for any output element the k accumulation stays a single running sum in
+// ascending k, so blocked results are bit-identical to the naive kernels.
+constexpr std::size_t kTileK = 64;
+constexpr std::size_t kTileJ = 512;
+constexpr std::size_t kDotTile = 16;   // i/j tile for the A·Bᵀ kernel
+constexpr std::size_t kDotTileK = 256; // k slice for the A·Bᵀ kernel
+
+// Parallelize a kernel only past this many multiply-adds; below it the
+// dispatch overhead dominates.
+constexpr double kParallelFlops = 1.5e6;
+
+/// Row range [i0, i1) of C = A * B, blocked k-j within the range.
+void matmul_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t i0,
+                 std::size_t i1) {
+  const std::size_t nk = a.cols();
+  const std::size_t nj = b.cols();
+  for (std::size_t k0 = 0; k0 < nk; k0 += kTileK) {
+    const std::size_t k1 = std::min(nk, k0 + kTileK);
+    for (std::size_t j0 = 0; j0 < nj; j0 += kTileJ) {
+      const std::size_t jn = std::min(nj, j0 + kTileJ) - j0;
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* arow = a.row_data(i);
+        double* crow = c.row_data(i) + j0;
+        for (std::size_t k = k0; k < k1; ++k) {
+          const double aik = arow[k];
+          if (aik == 0.0) continue;
+          const double* brow = b.row_data(k) + j0;
+          for (std::size_t j = 0; j < jn; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+}
+
+/// Row range [i0, i1) of C = Aᵀ * B (rows of C are columns of A).
+void matmul_at_b_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                      std::size_t i0, std::size_t i1) {
+  const std::size_t nk = a.rows();
+  const std::size_t nj = b.cols();
+  for (std::size_t k0 = 0; k0 < nk; k0 += kTileK) {
+    const std::size_t k1 = std::min(nk, k0 + kTileK);
+    for (std::size_t j0 = 0; j0 < nj; j0 += kTileJ) {
+      const std::size_t jn = std::min(nj, j0 + kTileJ) - j0;
+      for (std::size_t i = i0; i < i1; ++i) {
+        double* crow = c.row_data(i) + j0;
+        for (std::size_t k = k0; k < k1; ++k) {
+          const double aki = a(k, i);
+          if (aki == 0.0) continue;
+          const double* brow = b.row_data(k) + j0;
+          for (std::size_t j = 0; j < jn; ++j) crow[j] += aki * brow[j];
+        }
+      }
+    }
+  }
+}
+
+/// Row range [i0, i1) of C = A * Bᵀ: tiled dot products with one running
+/// accumulator per output element (k strictly ascending).
+void matmul_a_bt_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                      std::size_t i0, std::size_t i1) {
+  const std::size_t nk = a.cols();
+  const std::size_t nj = b.rows();
+  double acc[kDotTile][kDotTile];
+  for (std::size_t ib = i0; ib < i1; ib += kDotTile) {
+    const std::size_t ie = std::min(i1, ib + kDotTile);
+    for (std::size_t jb = 0; jb < nj; jb += kDotTile) {
+      const std::size_t je = std::min(nj, jb + kDotTile);
+      for (std::size_t i = ib; i < ie; ++i)
+        for (std::size_t j = jb; j < je; ++j) acc[i - ib][j - jb] = 0.0;
+      for (std::size_t k0 = 0; k0 < nk; k0 += kDotTileK) {
+        const std::size_t k1 = std::min(nk, k0 + kDotTileK);
+        for (std::size_t i = ib; i < ie; ++i) {
+          const double* arow = a.row_data(i);
+          for (std::size_t j = jb; j < je; ++j) {
+            const double* brow = b.row_data(j);
+            double s = acc[i - ib][j - jb];
+            for (std::size_t k = k0; k < k1; ++k) s += arow[k] * brow[k];
+            acc[i - ib][j - jb] = s;
+          }
+        }
+      }
+      for (std::size_t i = ib; i < ie; ++i)
+        for (std::size_t j = jb; j < je; ++j) c(i, j) = acc[i - ib][j - jb];
+    }
+  }
+}
+
+/// Splits [0, rows) into contiguous chunks and runs `rows_fn` on the pool
+/// when the kernel is large enough; inline otherwise. Chunk boundaries do
+/// not affect results: each output row is produced whole by one chunk.
+template <typename RowsFn>
+void dispatch_rows(std::size_t rows, double flops, const RowsFn& rows_fn) {
+  const std::size_t threads = thread_count();
+  if (rows == 0) return;
+  if (flops < kParallelFlops || threads <= 1 || in_parallel_region()) {
+    rows_fn(0, rows);
+    return;
+  }
+  const std::size_t chunks = std::min(rows, 4 * threads);
+  parallel_for(0, chunks, [&](std::size_t t) {
+    rows_fn(t * rows / chunks, (t + 1) * rows / chunks);
+  });
+}
+
+}  // namespace
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
+  VMAP_REQUIRE(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  const double flops = static_cast<double>(a.rows()) *
+                       static_cast<double>(a.cols()) *
+                       static_cast<double>(b.cols());
+  dispatch_rows(a.rows(), flops, [&](std::size_t i0, std::size_t i1) {
+    matmul_rows(a, b, c, i0, i1);
+  });
+  return c;
+}
+
+Matrix matmul_reference(const Matrix& a, const Matrix& b) {
   VMAP_REQUIRE(a.cols() == b.rows(), "matmul inner dimension mismatch");
   Matrix c(a.rows(), b.cols());
   // i-k-j loop order: both inner accesses stream along rows (cache friendly).
@@ -169,32 +293,24 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
 Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
   VMAP_REQUIRE(a.rows() == b.rows(), "matmul_at_b dimension mismatch");
   Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.row_data(k);
-    const double* brow = b.row_data(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.row_data(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
+  const double flops = static_cast<double>(a.rows()) *
+                       static_cast<double>(a.cols()) *
+                       static_cast<double>(b.cols());
+  dispatch_rows(a.cols(), flops, [&](std::size_t i0, std::size_t i1) {
+    matmul_at_b_rows(a, b, c, i0, i1);
+  });
   return c;
 }
 
 Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
   VMAP_REQUIRE(a.cols() == b.cols(), "matmul_a_bt dimension mismatch");
   Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row_data(i);
-    double* crow = c.row_data(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.row_data(j);
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-      crow[j] = acc;
-    }
-  }
+  const double flops = static_cast<double>(a.rows()) *
+                       static_cast<double>(a.cols()) *
+                       static_cast<double>(b.rows());
+  dispatch_rows(a.rows(), flops, [&](std::size_t i0, std::size_t i1) {
+    matmul_a_bt_rows(a, b, c, i0, i1);
+  });
   return c;
 }
 

@@ -83,8 +83,14 @@ Matrix operator-(Matrix lhs, const Matrix& rhs);
 Matrix operator*(Matrix m, double s);
 Matrix operator*(double s, Matrix m);
 
-/// C = A * B. Inner dimensions must agree.
+/// C = A * B. Inner dimensions must agree. Cache-blocked; row blocks run
+/// on the thread pool above a flop threshold. Accumulation order per
+/// output element matches matmul_reference, so results are bit-identical
+/// to the naive kernel at any thread count.
 Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A * B, naive single-threaded i-k-j kernel. Reference for tests and
+/// the blocked-vs-naive microbenchmarks.
+Matrix matmul_reference(const Matrix& a, const Matrix& b);
 /// C = A^T * B without materializing A^T.
 Matrix matmul_at_b(const Matrix& a, const Matrix& b);
 /// C = A * B^T without materializing B^T.

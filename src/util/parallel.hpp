@@ -1,0 +1,55 @@
+#pragma once
+// Task-parallel runtime: a fixed-size thread pool behind parallel_for /
+// parallel_invoke.
+//
+// The pool is a process-wide singleton built lazily on first use. Its size
+// comes from set_thread_count(), else the VMAP_THREADS environment
+// variable, else hardware_concurrency(). At one thread every entry point
+// degenerates to a plain inline loop — no threads are spawned, no locks
+// taken — so the serial path is exactly the pre-parallel behavior.
+//
+// Scheduling is dynamic (workers pull indices from an atomic counter), but
+// every index runs exactly once and writes whatever the caller's body
+// writes, so any body whose per-index work is order-independent (disjoint
+// outputs, per-index state) produces results bit-identical to the serial
+// loop regardless of thread count. The collection / fitting layers are
+// built on that guarantee.
+//
+// Nested calls: a parallel_for issued from inside a worker (or from inside
+// another parallel_for body on the submitting thread) runs inline on the
+// calling thread — nesting can never deadlock and never oversubscribes.
+// Likewise, a batch of n tasks occupies at most n threads: surplus workers
+// find the index counter exhausted and go back to sleep immediately.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace vmap {
+
+/// Effective pool size (threads that can work on one batch, including the
+/// submitting thread). Resolves the VMAP_THREADS default on first call.
+std::size_t thread_count();
+
+/// Overrides the pool size; 0 restores the automatic default
+/// (VMAP_THREADS env var, else hardware_concurrency()). Rebuilds the pool
+/// if it is already running. Must not be called concurrently with an
+/// in-flight parallel_for.
+void set_thread_count(std::size_t n);
+
+/// True while executing inside a parallel_for / parallel_invoke body (on
+/// any thread). Nested parallel calls check this to run inline.
+bool in_parallel_region();
+
+/// Runs body(i) for every i in [begin, end), distributing indices over the
+/// pool; the calling thread participates. Blocks until all indices are
+/// done. The first exception thrown by a body is rethrown on the caller
+/// (remaining indices still run). Serial (inline, in-order) when the pool
+/// has one thread, when end - begin <= 1, or when nested.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// Runs the given tasks concurrently; blocks until all complete.
+void parallel_invoke(const std::vector<std::function<void()>>& tasks);
+
+}  // namespace vmap

@@ -1,0 +1,260 @@
+// Thread-pool semantics (coverage, nesting, clamping, exceptions) and the
+// bit-identical-to-serial guarantee of parallel dataset collection and
+// parallel per-core placement fits.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "chip/floorplan.hpp"
+#include "core/dataset.hpp"
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "grid/power_grid.hpp"
+#include "linalg/matrix.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "workload/benchmark_suite.hpp"
+
+namespace vmap {
+namespace {
+
+/// Restores the automatic thread-count default when a test ends.
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() { set_thread_count(0); }
+};
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(0, kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, RespectsBeginOffset) {
+  ThreadCountGuard guard;
+  set_thread_count(3);
+  std::vector<std::atomic<int>> hits(10);
+  parallel_for(4, 10, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_EQ(hits[i].load(), i >= 4 ? 1 : 0);
+}
+
+TEST(ParallelFor, SerialAtOneThreadRunsInOrderOnCaller) {
+  ThreadCountGuard guard;
+  set_thread_count(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  parallel_for(0, 16, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, NestedCallRunsInlineWithoutDeadlock) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  std::atomic<int> inner_total{0};
+  parallel_for(0, 8, [&](std::size_t) {
+    EXPECT_TRUE(in_parallel_region());
+    const auto outer_thread = std::this_thread::get_id();
+    // The nested loop must run inline on the same worker.
+    parallel_for(0, 4, [&](std::size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), outer_thread);
+      inner_total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(ParallelFor, ConcurrencyClampedToOutstandingTasks) {
+  ThreadCountGuard guard;
+  set_thread_count(8);
+  std::atomic<int> active{0};
+  std::atomic<int> high_water{0};
+  parallel_for(0, 2, [&](std::size_t) {
+    const int now = active.fetch_add(1) + 1;
+    int seen = high_water.load();
+    while (now > seen && !high_water.compare_exchange_weak(seen, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    active.fetch_sub(1);
+  });
+  EXPECT_LE(high_water.load(), 2);
+}
+
+TEST(ParallelFor, OversubscribedPoolStillCompletes) {
+  ThreadCountGuard guard;
+  set_thread_count(16);  // far more threads than this machine has cores
+  std::atomic<int> total{0};
+  parallel_for(0, 64, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  EXPECT_THROW(parallel_for(0, 32,
+                            [&](std::size_t i) {
+                              if (i == 17) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // Pool still serviceable afterwards.
+  std::atomic<int> total{0};
+  parallel_for(0, 8, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ParallelInvoke, RunsEveryTask) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  std::atomic<int> mask{0};
+  std::vector<std::function<void()>> tasks;
+  for (int t = 0; t < 5; ++t)
+    tasks.push_back([&mask, t] { mask.fetch_or(1 << t); });
+  parallel_invoke(tasks);
+  EXPECT_EQ(mask.load(), 0b11111);
+}
+
+TEST(ParallelMatmul, BlockedKernelsBitIdenticalToReference) {
+  ThreadCountGuard guard;
+  Rng rng(123);
+  linalg::Matrix a(37, 211), b(211, 53);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      a(i, j) = rng.bernoulli(0.1) ? 0.0 : rng.normal();
+  for (std::size_t i = 0; i < b.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) b(i, j) = rng.normal();
+  const linalg::Matrix ref = linalg::matmul_reference(a, b);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_thread_count(threads);
+    const linalg::Matrix c = linalg::matmul(a, b);
+    ASSERT_EQ(c.rows(), ref.rows());
+    ASSERT_EQ(c.cols(), ref.cols());
+    EXPECT_EQ(std::memcmp(c.data(), ref.data(),
+                          c.rows() * c.cols() * sizeof(double)),
+              0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelMatmul, TransposedProductsMatchSerialBitwise) {
+  ThreadCountGuard guard;
+  Rng rng(321);
+  linalg::Matrix a(301, 41), b(301, 29), d(41, 301);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.normal();
+  for (std::size_t i = 0; i < b.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) b(i, j) = rng.normal();
+  for (std::size_t i = 0; i < d.rows(); ++i)
+    for (std::size_t j = 0; j < d.cols(); ++j) d(i, j) = rng.normal();
+  set_thread_count(1);
+  const linalg::Matrix atb1 = linalg::matmul_at_b(a, b);
+  const linalg::Matrix abt1 = linalg::matmul_a_bt(d, d);
+  set_thread_count(4);
+  const linalg::Matrix atb4 = linalg::matmul_at_b(a, b);
+  const linalg::Matrix abt4 = linalg::matmul_a_bt(d, d);
+  EXPECT_EQ(std::memcmp(atb1.data(), atb4.data(),
+                        atb1.rows() * atb1.cols() * sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(abt1.data(), abt4.data(),
+                        abt1.rows() * abt1.cols() * sizeof(double)),
+            0);
+}
+
+// --- bit-identity of the collection / fitting layers ---------------------
+
+bool matrices_identical(const linalg::Matrix& x, const linalg::Matrix& y) {
+  return x.rows() == y.rows() && x.cols() == y.cols() &&
+         std::memcmp(x.data(), y.data(),
+                     x.rows() * x.cols() * sizeof(double)) == 0;
+}
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  ParallelDeterminismTest()
+      : setup_(core::small_setup()),
+        grid_(setup_.grid),
+        plan_(grid_, setup_.floorplan) {
+    suite_ = workload::parsec_like_suite();
+    suite_.resize(3);
+    config_ = setup_.data;
+    config_.warmup_steps = 30;
+    config_.train_maps_per_benchmark = 40;
+    config_.test_maps_per_benchmark = 15;
+    config_.calibration_steps = 80;
+  }
+  ~ParallelDeterminismTest() override { set_thread_count(0); }
+
+  core::Dataset collect_with(std::size_t threads) const {
+    set_thread_count(threads);
+    return core::DataCollector(grid_, plan_, config_).collect(suite_);
+  }
+
+  core::ExperimentSetup setup_;
+  grid::PowerGrid grid_;
+  chip::Floorplan plan_;
+  std::vector<workload::BenchmarkProfile> suite_;
+  core::DataConfig config_;
+};
+
+TEST_F(ParallelDeterminismTest, CollectionBitIdenticalAcrossThreadCounts) {
+  const core::Dataset serial = collect_with(1);
+  const core::Dataset parallel = collect_with(4);
+
+  EXPECT_EQ(serial.platform, parallel.platform);
+  EXPECT_EQ(serial.workload_hash, parallel.workload_hash);
+  EXPECT_EQ(serial.current_scale, parallel.current_scale);
+  EXPECT_EQ(serial.candidate_nodes, parallel.candidate_nodes);
+  EXPECT_EQ(serial.critical_nodes, parallel.critical_nodes);
+  EXPECT_EQ(serial.critical_block, parallel.critical_block);
+  EXPECT_TRUE(matrices_identical(serial.x_train, parallel.x_train));
+  EXPECT_TRUE(matrices_identical(serial.f_train, parallel.f_train));
+  EXPECT_TRUE(matrices_identical(serial.x_test, parallel.x_test));
+  EXPECT_TRUE(matrices_identical(serial.f_test, parallel.f_test));
+  ASSERT_EQ(serial.benchmarks.size(), parallel.benchmarks.size());
+  for (std::size_t b = 0; b < serial.benchmarks.size(); ++b) {
+    EXPECT_EQ(serial.benchmarks[b].name, parallel.benchmarks[b].name);
+    EXPECT_EQ(serial.benchmarks[b].train_begin,
+              parallel.benchmarks[b].train_begin);
+    EXPECT_EQ(serial.benchmarks[b].test_end, parallel.benchmarks[b].test_end);
+  }
+}
+
+TEST_F(ParallelDeterminismTest, PlacementFitBitIdenticalAcrossThreadCounts) {
+  set_thread_count(1);
+  const core::Dataset data =
+      core::DataCollector(grid_, plan_, config_).collect(suite_);
+  core::PipelineConfig pc;
+  pc.lambda = 6.0;
+  const core::PlacementModel serial = core::fit_placement(data, plan_, pc);
+  set_thread_count(4);
+  const core::PlacementModel parallel = core::fit_placement(data, plan_, pc);
+
+  EXPECT_EQ(serial.sensor_rows(), parallel.sensor_rows());
+  EXPECT_EQ(serial.sensor_nodes(), parallel.sensor_nodes());
+  ASSERT_EQ(serial.cores().size(), parallel.cores().size());
+  for (std::size_t c = 0; c < serial.cores().size(); ++c) {
+    const auto& sc = serial.cores()[c];
+    const auto& pc2 = parallel.cores()[c];
+    EXPECT_EQ(sc.selected_rows, pc2.selected_rows);
+    EXPECT_EQ(sc.block_rows, pc2.block_rows);
+    EXPECT_TRUE(matrices_identical(sc.alpha, pc2.alpha));
+    ASSERT_EQ(sc.intercept.size(), pc2.intercept.size());
+    for (std::size_t k = 0; k < sc.intercept.size(); ++k)
+      EXPECT_EQ(sc.intercept[k], pc2.intercept[k]);
+  }
+}
+
+}  // namespace
+}  // namespace vmap

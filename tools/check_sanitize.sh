@@ -1,19 +1,43 @@
 #!/usr/bin/env bash
-# Builds the repo with AddressSanitizer + UndefinedBehaviorSanitizer
-# (-DVMAP_SANITIZE=address,undefined) and runs the tier-1 test suite under
-# it. Any sanitizer report fails the run (halt_on_error / abort flags).
+# Sanitizer gate for the tier-1 suite.
 #
-# Usage: tools/check_sanitize.sh [build-dir]   (default: build-sanitize)
+#   tools/check_sanitize.sh [asan] [build-dir]   (default mode, default dir
+#       build-sanitize): AddressSanitizer + UndefinedBehaviorSanitizer over
+#       the full tier-1 test suite.
+#   tools/check_sanitize.sh tsan [build-dir]     (default dir build-tsan):
+#       ThreadSanitizer over the thread-pool and dataset-collection tests —
+#       the parts that exercise the parallel execution layer.
+#
+# Any sanitizer report fails the run (halt_on_error / abort flags).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-sanitize}"
 
-cmake -B "$BUILD_DIR" -S . -DVMAP_SANITIZE=address,undefined \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j"$(nproc)"
+MODE="asan"
+if [[ $# -ge 1 && ( "$1" == "asan" || "$1" == "tsan" ) ]]; then
+  MODE="$1"
+  shift
+fi
 
-export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
-export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
-echo "sanitize check passed (${BUILD_DIR})"
+if [[ "$MODE" == "tsan" ]]; then
+  BUILD_DIR="${1:-build-tsan}"
+  cmake -B "$BUILD_DIR" -S . -DVMAP_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_DIR" -j"$(nproc)" \
+    --target parallel_test dataset_pipeline_test
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  # Run with more worker threads than cores so interleavings actually occur.
+  export VMAP_THREADS=4
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'parallel_test|dataset_pipeline_test'
+  echo "thread-sanitize check passed (${BUILD_DIR})"
+else
+  BUILD_DIR="${1:-build-sanitize}"
+  cmake -B "$BUILD_DIR" -S . -DVMAP_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_DIR" -j"$(nproc)"
+  export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+  echo "sanitize check passed (${BUILD_DIR})"
+fi
