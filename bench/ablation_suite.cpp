@@ -143,8 +143,8 @@ void solver_ablation(const benchutil::Platform& platform) {
   const auto problem =
       core::GroupLassoProblem::from_data(xn.normalize(x), fn.normalize(f));
 
-  TablePrinter table({"solver", "mu/mu_max", "iterations", "objective",
-                      "#active (T=1e-3)", "time(ms)"});
+  TablePrinter table({"solver", "mu/mu_max", "iterations", "converged",
+                      "objective", "#active (T=1e-3)", "time(ms)"});
   for (double fraction : {0.5, 0.2, 0.05}) {
     for (auto solver : {core::GlSolver::kBcd, core::GlSolver::kFista}) {
       core::GroupLassoOptions options;
@@ -156,9 +156,13 @@ void solver_ablation(const benchutil::Platform& platform) {
       Timer timer;
       const auto result = gl.solve_penalized(mu);
       const double ms = timer.millis();
+      // A numerical breakdown makes the whole comparison meaningless;
+      // non-convergence only makes one row inexact, so flag it in place.
+      if (!result.status.ok()) throw StatusError(result.status);
       table.add_row({solver == core::GlSolver::kBcd ? "BCD" : "FISTA",
                      TablePrinter::fmt(fraction, 2),
                      TablePrinter::fmt(result.iterations),
+                     result.converged ? "yes" : "NO (cap)",
                      TablePrinter::fmt(result.objective, 6),
                      TablePrinter::fmt(result.active_groups(1e-3).size()),
                      TablePrinter::fmt(ms, 1)});
@@ -183,6 +187,7 @@ int main(int argc, char** argv) {
     refit_ablation(platform);
     decomposition_ablation(platform);
     solver_ablation(platform);
+    benchutil::print_resilience(platform);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

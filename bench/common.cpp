@@ -61,7 +61,7 @@ Platform load_platform(const CliArgs& args) {
   platform.data =
       core::load_or_collect(args.get("cache"), *platform.grid,
                             *platform.floorplan, platform.setup.data,
-                            platform.suite);
+                            platform.suite, platform.report.get());
   std::fprintf(stderr,
                "[platform] M=%zu candidates, K=%zu blocks, N_train=%zu, "
                "N_test=%zu (%.1f s)\n",
@@ -69,6 +69,17 @@ Platform load_platform(const CliArgs& args) {
                platform.data.x_train.cols(), platform.data.x_test.cols(),
                timer.seconds());
   return platform;
+}
+
+void print_resilience(const Platform& platform) {
+  if (!platform.report) return;
+  if (platform.report->clean()) {
+    std::fprintf(stderr, "[resilience] all clean: no retries, fallbacks, or "
+                         "recollections\n");
+    return;
+  }
+  std::fprintf(stderr, "[resilience] %s\n",
+               platform.report->summary().c_str());
 }
 
 double scaled_lambda(const CliArgs& args, double paper_lambda) {

@@ -17,6 +17,7 @@
 #include "core/experiment.hpp"
 #include "grid/power_grid.hpp"
 #include "util/cli.hpp"
+#include "util/resilience.hpp"
 #include "workload/benchmark_suite.hpp"
 
 namespace vmap::benchutil {
@@ -28,6 +29,11 @@ struct Platform {
   std::unique_ptr<chip::Floorplan> floorplan;
   std::vector<workload::BenchmarkProfile> suite;
   core::Dataset data;
+  /// Accumulates every guardrail action taken during platform construction
+  /// and any fit the bench threads it into (heap-held: the report owns a
+  /// mutex, and Platform is returned by value).
+  std::unique_ptr<ResilienceReport> report =
+      std::make_unique<ResilienceReport>();
 };
 
 /// Registers the flags shared by all experiment benches.
@@ -35,6 +41,12 @@ void add_common_flags(CliArgs& args);
 
 /// Builds the platform from parsed flags (collects or loads the dataset).
 Platform load_platform(const CliArgs& args);
+
+/// Prints the platform's resilience report to stderr: one "all clean" line
+/// when nothing degraded, otherwise the full event summary. Call at the end
+/// of a bench so recoveries (cache recollection, solver fallbacks, ridge
+/// refits) are never silently absorbed into the results.
+void print_resilience(const Platform& platform);
 
 /// Paper-λ to internal group-lasso budget: the paper sweeps λ ∈ [10, 60] on
 /// its (unnormalized-objective) SOCP; our normalized-Gram budget lives on a

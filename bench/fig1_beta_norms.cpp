@@ -32,7 +32,14 @@ vmap::core::GroupLassoResult solve_core_gl(
   const core::Normalizer xn(x), fn(f);
   core::GroupLasso solver(
       core::GroupLassoProblem::from_data(xn.normalize(x), fn.normalize(f)));
-  return solver.solve_budget(budget);
+  vmap::core::GroupLassoResult gl = solver.solve_budget(budget);
+  if (!gl.status.ok()) throw StatusError(gl.status);
+  if (!gl.converged)
+    std::fprintf(stderr,
+                 "warning: group lasso hit the iteration cap at budget %.3f; "
+                 "the printed norms are inexact\n",
+                 budget);
+  return gl;
 }
 
 void print_histogram(const vmap::linalg::Vector& norms) {
@@ -131,6 +138,7 @@ int main(int argc, char** argv) {
       }
       top.print(std::cout);
     }
+    benchutil::print_resilience(platform);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

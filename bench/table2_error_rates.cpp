@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
     core::PipelineConfig config;
     config.lambda = benchutil::scaled_lambda(args, 60.0);
     config.sensors_per_core = sensors;
-    const auto model = core::fit_placement(data, *platform.floorplan, config);
+    const auto model = core::fit_placement(data, *platform.floorplan, config,
+                                           platform.report.get());
 
     std::printf("== Table 2: error rates with %zu sensors per core "
                 "(emergency: V < %.2f) ==\n",
@@ -109,6 +110,7 @@ int main(int argc, char** argv) {
                 ee_wae_max, our_wae_max);
     std::printf("(paper: proposed ME and TE are about half of Eagle-Eye's "
                 "on every benchmark; WAE < 1e-3 for both)\n");
+    benchutil::print_resilience(platform);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -4,11 +4,18 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "chip/critical_nodes.hpp"
 #include "grid/recorder.hpp"
 #include "grid/transient.hpp"
 #include "util/assert.hpp"
+#include "util/hash.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
@@ -87,17 +94,12 @@ std::vector<std::size_t> Dataset::critical_rows_for_core(
 
 std::uint64_t platform_hash(const grid::GridConfig& g,
                             const chip::FloorplanConfig& f) {
-  // FNV-1a over every numeric field of both configs.
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  auto mix_bytes = [&h](const void* data, std::size_t size) {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < size; ++i) {
-      h ^= bytes[i];
-      h *= 0x100000001b3ULL;
-    }
-  };
-  auto mix_u64 = [&](std::uint64_t v) { mix_bytes(&v, sizeof(v)); };
-  auto mix_f64 = [&](double v) { mix_bytes(&v, sizeof(v)); };
+  // FNV-1a over every numeric field of both configs, chained through the
+  // shared util/hash.hpp implementation (identical values to the historic
+  // inline loop, so existing caches stay valid).
+  std::uint64_t h = kFnv1a64Seed;
+  auto mix_u64 = [&h](std::uint64_t v) { h = fnv1a64(&v, sizeof(v), h); };
+  auto mix_f64 = [&h](double v) { h = fnv1a64(&v, sizeof(v), h); };
   mix_u64(g.nx);
   mix_u64(g.ny);
   mix_f64(g.pitch_um);
@@ -299,42 +301,45 @@ Dataset DataCollector::collect(
 
 namespace {
 constexpr std::uint64_t kMagic = 0x564D415044534554ULL;  // "VMAPDSET"
-constexpr std::uint32_t kVersion = 6;
+// v7: sectioned layout with a per-section FNV-1a checksum and atomic
+// (write-temp-then-rename) saves. v6 and older caches fail the version
+// check and are transparently recollected.
+constexpr std::uint64_t kVersion = 7;
 
-void write_u64(std::ofstream& out, std::uint64_t v) {
+void write_u64(std::ostream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
-std::uint64_t read_u64(std::ifstream& in) {
+std::uint64_t read_u64(std::istream& in) {
   std::uint64_t v = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
   return v;
 }
-void write_f64(std::ofstream& out, double v) {
+void write_f64(std::ostream& out, double v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
-double read_f64(std::ifstream& in) {
+double read_f64(std::istream& in) {
   double v = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
   return v;
 }
-void write_string(std::ofstream& out, const std::string& s) {
+void write_string(std::ostream& out, const std::string& s) {
   write_u64(out, s.size());
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
-std::string read_string(std::ifstream& in) {
+std::string read_string(std::istream& in) {
   const std::uint64_t n = read_u64(in);
   std::string s(n, '\0');
   in.read(s.data(), static_cast<std::streamsize>(n));
   return s;
 }
-void write_matrix(std::ofstream& out, const linalg::Matrix& m) {
+void write_matrix(std::ostream& out, const linalg::Matrix& m) {
   write_u64(out, m.rows());
   write_u64(out, m.cols());
   out.write(reinterpret_cast<const char*>(m.data()),
             static_cast<std::streamsize>(m.rows() * m.cols() *
                                          sizeof(double)));
 }
-linalg::Matrix read_matrix(std::ifstream& in) {
+linalg::Matrix read_matrix(std::istream& in) {
   const std::uint64_t rows = read_u64(in);
   const std::uint64_t cols = read_u64(in);
   linalg::Matrix m(rows, cols);
@@ -342,18 +347,18 @@ linalg::Matrix read_matrix(std::ifstream& in) {
           static_cast<std::streamsize>(rows * cols * sizeof(double)));
   return m;
 }
-void write_indices(std::ofstream& out, const std::vector<std::size_t>& v) {
+void write_indices(std::ostream& out, const std::vector<std::size_t>& v) {
   write_u64(out, v.size());
   for (std::size_t x : v) write_u64(out, x);
 }
-std::vector<std::size_t> read_indices(std::ifstream& in) {
+std::vector<std::size_t> read_indices(std::istream& in) {
   const std::uint64_t n = read_u64(in);
   std::vector<std::size_t> v(n);
   for (auto& x : v) x = read_u64(in);
   return v;
 }
 
-void write_config(std::ofstream& out, const DataConfig& c) {
+void write_config(std::ostream& out, const DataConfig& c) {
   write_f64(out, c.dt);
   write_u64(out, c.warmup_steps);
   write_u64(out, c.train_maps_per_benchmark);
@@ -368,7 +373,7 @@ void write_config(std::ofstream& out, const DataConfig& c) {
   write_u64(out, c.calibration_steps);
   write_u64(out, c.seed);
 }
-DataConfig read_config(std::ifstream& in) {
+DataConfig read_config(std::istream& in) {
   DataConfig c;
   c.dt = read_f64(in);
   c.warmup_steps = read_u64(in);
@@ -399,79 +404,269 @@ bool config_equal(const DataConfig& a, const DataConfig& b) {
          a.emergency_threshold == b.emergency_threshold &&
          a.calibration_steps == b.calibration_steps && a.seed == b.seed;
 }
+
+// Section tags, in the fixed file order. Tags double as a structural check:
+// a reader finding the wrong tag knows the file is corrupt, not merely
+// truncated.
+constexpr std::uint64_t kSecMeta = 0xD5E70001ULL;        // config + hashes
+constexpr std::uint64_t kSecCandidates = 0xD5E70002ULL;  // candidate nodes
+constexpr std::uint64_t kSecCriticals = 0xD5E70003ULL;   // critical nodes/blocks
+constexpr std::uint64_t kSecXTrain = 0xD5E70004ULL;
+constexpr std::uint64_t kSecFTrain = 0xD5E70005ULL;
+constexpr std::uint64_t kSecXTest = 0xD5E70006ULL;
+constexpr std::uint64_t kSecFTest = 0xD5E70007ULL;
+constexpr std::uint64_t kSecBenchmarks = 0xD5E70008ULL;
+
+/// [u64 tag][u64 payload bytes][u64 fnv1a64(payload)][payload]
+void write_section(std::ostream& out, std::uint64_t tag,
+                   const std::string& payload) {
+  write_u64(out, tag);
+  write_u64(out, payload.size());
+  write_u64(out, fnv1a64(payload.data(), payload.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+/// Reads and verifies one section. `remaining` bounds the payload length
+/// claim so a corrupted length field cannot trigger a huge allocation or a
+/// silent short read.
+StatusOr<std::string> read_section(std::istream& in, std::uint64_t expected_tag,
+                                   std::uint64_t remaining,
+                                   const std::string& path) {
+  if (remaining < 3 * sizeof(std::uint64_t))
+    return Status::Corruption("dataset cache truncated before section header: " +
+                              path);
+  const std::uint64_t tag = read_u64(in);
+  const std::uint64_t bytes = read_u64(in);
+  const std::uint64_t checksum = read_u64(in);
+  if (!in)
+    return Status::Corruption("dataset cache section header unreadable: " +
+                              path);
+  if (tag != expected_tag)
+    return Status::Corruption("dataset cache section tag mismatch (got " +
+                              std::to_string(tag) + ", want " +
+                              std::to_string(expected_tag) + "): " + path);
+  if (bytes > remaining - 3 * sizeof(std::uint64_t))
+    return Status::Corruption(
+        "dataset cache section length exceeds file size: " + path);
+  std::string payload(bytes, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::uint64_t>(in.gcount()) != bytes)
+    return Status::Corruption("dataset cache section payload truncated: " +
+                              path);
+  if (fnv1a64(payload.data(), payload.size()) != checksum)
+    return Status::Corruption("dataset cache section checksum mismatch (tag " +
+                              std::to_string(expected_tag) + "): " + path);
+  return payload;
+}
+
+/// True when the payload stream is healthy and fully consumed — extra or
+/// missing bytes inside a checksummed section indicate a writer/reader
+/// version skew.
+bool payload_consumed(std::istringstream& s) {
+  return !s.fail() && s.peek() == std::istringstream::traits_type::eof();
+}
 }  // namespace
 
-void Dataset::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot write dataset cache: " + path);
-  write_u64(out, kMagic);
-  write_u64(out, kVersion);
-  write_config(out, config);
-  write_u64(out, workload_hash);
-  write_u64(out, platform);
-  write_f64(out, current_scale);
-  write_indices(out, candidate_nodes);
-  write_indices(out, critical_nodes);
-  write_indices(out, critical_block);
-  write_matrix(out, x_train);
-  write_matrix(out, f_train);
-  write_matrix(out, x_test);
-  write_matrix(out, f_test);
-  write_u64(out, benchmarks.size());
+Status Dataset::try_save(const std::string& path) const {
+  // Serialize every section to memory first: the file is only created once
+  // the full image is known good, and a crash mid-write can at worst leave
+  // a stale .tmp file behind, never a torn cache under the real name.
+  std::ostringstream meta;
+  write_config(meta, config);
+  write_u64(meta, workload_hash);
+  write_u64(meta, platform);
+  write_f64(meta, current_scale);
+
+  std::ostringstream cands;
+  write_indices(cands, candidate_nodes);
+
+  std::ostringstream crits;
+  write_indices(crits, critical_nodes);
+  write_indices(crits, critical_block);
+
+  std::ostringstream xtr, ftr, xte, fte;
+  write_matrix(xtr, x_train);
+  write_matrix(ftr, f_train);
+  write_matrix(xte, x_test);
+  write_matrix(fte, f_test);
+
+  std::ostringstream benches;
+  write_u64(benches, benchmarks.size());
   for (const auto& b : benchmarks) {
-    write_string(out, b.name);
-    write_u64(out, b.train_begin);
-    write_u64(out, b.train_end);
-    write_u64(out, b.test_begin);
-    write_u64(out, b.test_end);
+    write_string(benches, b.name);
+    write_u64(benches, b.train_begin);
+    write_u64(benches, b.train_end);
+    write_u64(benches, b.test_begin);
+    write_u64(benches, b.test_end);
   }
-  if (!out) throw std::runtime_error("dataset cache write failed: " + path);
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Io("cannot write dataset cache: " + tmp_path);
+    write_u64(out, kMagic);
+    write_u64(out, kVersion);
+    write_section(out, kSecMeta, meta.str());
+    write_section(out, kSecCandidates, cands.str());
+    write_section(out, kSecCriticals, crits.str());
+    write_section(out, kSecXTrain, xtr.str());
+    write_section(out, kSecFTrain, ftr.str());
+    write_section(out, kSecXTest, xte.str());
+    write_section(out, kSecFTest, fte.str());
+    write_section(out, kSecBenchmarks, benches.str());
+    out.flush();
+    if (!out) {
+      std::remove(tmp_path.c_str());
+      return Status::Io("dataset cache write failed: " + tmp_path);
+    }
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Push the temp file to stable storage before the rename so the
+  // rename-is-atomic guarantee covers the data, not just the directory
+  // entry.
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#endif
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Io("cannot move dataset cache into place: " + tmp_path +
+                      " -> " + path);
+  }
+  return Status::Ok();
+}
+
+void Dataset::save(const std::string& path) const {
+  const Status status = try_save(path);
+  if (!status.ok()) throw StatusError(status);
+}
+
+StatusOr<Dataset> Dataset::try_load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Io("cannot read dataset cache: " + path);
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  if (file_size < 2 * sizeof(std::uint64_t))
+    return Status::Corruption("dataset cache too small to hold a header: " +
+                              path);
+  if (read_u64(in) != kMagic)
+    return Status::Corruption("bad dataset cache magic: " + path);
+  if (read_u64(in) != kVersion)
+    return Status::Corruption("dataset cache version mismatch: " + path);
+
+  const auto remaining = [&in, file_size]() {
+    return file_size - static_cast<std::uint64_t>(in.tellg());
+  };
+  Dataset d;
+
+  StatusOr<std::string> meta = read_section(in, kSecMeta, remaining(), path);
+  if (!meta.ok()) return meta.status();
+  {
+    std::istringstream s(meta.value());
+    d.config = read_config(s);
+    d.workload_hash = read_u64(s);
+    d.platform = read_u64(s);
+    d.current_scale = read_f64(s);
+    if (!payload_consumed(s))
+      return Status::Corruption("dataset cache meta section malformed: " +
+                                path);
+  }
+
+  StatusOr<std::string> cands =
+      read_section(in, kSecCandidates, remaining(), path);
+  if (!cands.ok()) return cands.status();
+  {
+    std::istringstream s(cands.value());
+    d.candidate_nodes = read_indices(s);
+    if (!payload_consumed(s))
+      return Status::Corruption(
+          "dataset cache candidate section malformed: " + path);
+  }
+
+  StatusOr<std::string> crits =
+      read_section(in, kSecCriticals, remaining(), path);
+  if (!crits.ok()) return crits.status();
+  {
+    std::istringstream s(crits.value());
+    d.critical_nodes = read_indices(s);
+    d.critical_block = read_indices(s);
+    if (!payload_consumed(s))
+      return Status::Corruption(
+          "dataset cache critical-node section malformed: " + path);
+  }
+
+  const struct {
+    std::uint64_t tag;
+    linalg::Matrix* dst;
+    const char* name;
+  } matrix_sections[] = {
+      {kSecXTrain, &d.x_train, "x_train"},
+      {kSecFTrain, &d.f_train, "f_train"},
+      {kSecXTest, &d.x_test, "x_test"},
+      {kSecFTest, &d.f_test, "f_test"},
+  };
+  for (const auto& sec : matrix_sections) {
+    StatusOr<std::string> payload =
+        read_section(in, sec.tag, remaining(), path);
+    if (!payload.ok()) return payload.status();
+    std::istringstream s(payload.value());
+    *sec.dst = read_matrix(s);
+    if (!payload_consumed(s))
+      return Status::Corruption("dataset cache " + std::string(sec.name) +
+                                " section malformed: " + path);
+  }
+
+  StatusOr<std::string> benches =
+      read_section(in, kSecBenchmarks, remaining(), path);
+  if (!benches.ok()) return benches.status();
+  {
+    std::istringstream s(benches.value());
+    const std::uint64_t nb = read_u64(s);
+    for (std::uint64_t i = 0; i < nb; ++i) {
+      BenchmarkSlice slice;
+      slice.name = read_string(s);
+      slice.train_begin = read_u64(s);
+      slice.train_end = read_u64(s);
+      slice.test_begin = read_u64(s);
+      slice.test_end = read_u64(s);
+      if (s.fail())
+        return Status::Corruption(
+            "dataset cache benchmark section malformed: " + path);
+      d.benchmarks.push_back(std::move(slice));
+    }
+    if (!payload_consumed(s))
+      return Status::Corruption("dataset cache benchmark section malformed: " +
+                                path);
+  }
+
+  if (remaining() != 0)
+    return Status::Corruption("dataset cache has trailing garbage (" +
+                              std::to_string(remaining()) + " bytes): " + path);
+  return d;
 }
 
 Dataset Dataset::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot read dataset cache: " + path);
-  if (read_u64(in) != kMagic)
-    throw std::runtime_error("bad dataset cache magic: " + path);
-  if (read_u64(in) != kVersion)
-    throw std::runtime_error("dataset cache version mismatch: " + path);
-  Dataset d;
-  d.config = read_config(in);
-  d.workload_hash = read_u64(in);
-  d.platform = read_u64(in);
-  d.current_scale = read_f64(in);
-  d.candidate_nodes = read_indices(in);
-  d.critical_nodes = read_indices(in);
-  d.critical_block = read_indices(in);
-  d.x_train = read_matrix(in);
-  d.f_train = read_matrix(in);
-  d.x_test = read_matrix(in);
-  d.f_test = read_matrix(in);
-  const std::uint64_t nb = read_u64(in);
-  for (std::uint64_t i = 0; i < nb; ++i) {
-    BenchmarkSlice s;
-    s.name = read_string(in);
-    s.train_begin = read_u64(in);
-    s.train_end = read_u64(in);
-    s.test_begin = read_u64(in);
-    s.test_end = read_u64(in);
-    d.benchmarks.push_back(std::move(s));
-  }
-  if (!in) throw std::runtime_error("dataset cache truncated: " + path);
-  return d;
+  StatusOr<Dataset> d = try_load(path);
+  if (!d.ok()) throw StatusError(d.status());
+  return std::move(d).value();
 }
 
 Dataset load_or_collect(const std::string& cache_path,
                         const grid::PowerGrid& grid,
                         const chip::Floorplan& floorplan,
                         const DataConfig& config,
-                        const std::vector<workload::BenchmarkProfile>& suite) {
+                        const std::vector<workload::BenchmarkProfile>& suite,
+                        ResilienceReport* report) {
   if (!cache_path.empty()) {
     std::ifstream probe(cache_path, std::ios::binary);
     if (probe) {
       probe.close();
-      try {
-        Dataset d = Dataset::load(cache_path);
+      StatusOr<Dataset> loaded = Dataset::try_load(cache_path);
+      if (loaded.ok()) {
+        Dataset& d = loaded.value();
         const bool shape_ok =
             d.benchmarks.size() == suite.size() &&
             !d.critical_nodes.empty() &&
@@ -483,21 +678,43 @@ Dataset load_or_collect(const std::string& cache_path,
             d.platform ==
                 platform_hash(grid.config(), floorplan.config())) {
           VMAP_LOG(kInfo) << "loaded dataset cache " << cache_path;
-          return d;
+          return std::move(d);
         }
         VMAP_LOG(kWarn) << "dataset cache " << cache_path
                         << " does not match the configuration; re-collecting";
-      } catch (const std::exception& e) {
-        VMAP_LOG(kWarn) << "dataset cache unreadable (" << e.what()
-                        << "); re-collecting";
+        if (report)
+          report->record("dataset_cache", ResilienceAction::kRecollect,
+                         "cache does not match the configuration; "
+                         "re-collecting",
+                         ErrorCode::kInvalidArgument);
+      } else {
+        VMAP_LOG(kWarn) << "dataset cache unusable ("
+                        << loaded.status().to_string() << "); re-collecting";
+        if (report)
+          report->record("dataset_cache", ResilienceAction::kRecollect,
+                         "cache unusable (" + loaded.status().to_string() +
+                             "); re-collecting",
+                         loaded.status().code());
       }
     }
   }
   DataCollector collector(grid, floorplan, config);
   Dataset d = collector.collect(suite);
   if (!cache_path.empty()) {
-    d.save(cache_path);
-    VMAP_LOG(kInfo) << "saved dataset cache " << cache_path;
+    // A failed save must never kill a run that already holds a good
+    // dataset; the next run simply recollects.
+    const Status saved = d.try_save(cache_path);
+    if (saved.ok()) {
+      VMAP_LOG(kInfo) << "saved dataset cache " << cache_path;
+    } else {
+      VMAP_LOG(kWarn) << "dataset cache save failed ("
+                      << saved.to_string() << "); continuing uncached";
+      if (report)
+        report->record("dataset_cache", ResilienceAction::kNote,
+                       "cache save failed (" + saved.to_string() +
+                           "); continuing uncached",
+                       saved.code());
+    }
   }
   return d;
 }

@@ -23,6 +23,8 @@
 #include "chip/floorplan.hpp"
 #include "grid/power_grid.hpp"
 #include "linalg/matrix.hpp"
+#include "util/resilience.hpp"
+#include "util/status.hpp"
 #include "workload/benchmark_suite.hpp"
 
 namespace vmap::core {
@@ -98,9 +100,14 @@ struct Dataset {
   std::vector<std::size_t> critical_rows_for_core(
       const chip::Floorplan& floorplan, std::size_t core) const;
 
-  /// Versioned binary serialization.
+  /// Versioned binary serialization (cache format v7: checksummed
+  /// sections, crash-safe write-temp-then-rename). The throwing wrappers
+  /// raise StatusError; the try_ variants report kIo (filesystem) and
+  /// kCorruption (integrity-check) failures as recoverable statuses.
   void save(const std::string& path) const;
+  Status try_save(const std::string& path) const;
   static Dataset load(const std::string& path);
+  static StatusOr<Dataset> try_load(const std::string& path);
 };
 
 /// Contiguous column slice [begin, end) of a matrix.
@@ -122,13 +129,17 @@ class DataCollector {
   DataConfig config_;
 };
 
-/// Loads `cache_path` if it exists and matches `config` (and the grid /
-/// floorplan shape); otherwise collects and saves. Empty path disables
-/// caching.
+/// Loads `cache_path` if it exists, passes integrity checks, and matches
+/// `config` (and the grid / floorplan shape); otherwise collects and saves.
+/// Any cache problem — missing file, truncation, checksum mismatch, stale
+/// configuration — falls back to recollection; a failed save of the fresh
+/// dataset is logged but never fatal. Empty path disables caching. When
+/// `report` is non-null, recollections and save failures are recorded.
 Dataset load_or_collect(const std::string& cache_path,
                         const grid::PowerGrid& grid,
                         const chip::Floorplan& floorplan,
                         const DataConfig& config,
-                        const std::vector<workload::BenchmarkProfile>& suite);
+                        const std::vector<workload::BenchmarkProfile>& suite,
+                        ResilienceReport* report = nullptr);
 
 }  // namespace vmap::core

@@ -33,13 +33,16 @@ linalg::Matrix solve_spd_with_ridge(linalg::Matrix gram,
       trace > 0.0 ? trace / static_cast<double>(gram.rows()) : 1.0;
   double ridge = 0.0;
   for (int attempt = 0; attempt < 4; ++attempt) {
-    try {
+    if (ridge > 0.0)
+      for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
+    StatusOr<linalg::Cholesky> chol = linalg::Cholesky::try_factorize(gram);
+    if (chol.ok()) {
       if (ridge > 0.0)
-        for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
-      return linalg::Cholesky(gram).solve(cross);
-    } catch (const ContractError&) {
-      ridge = ridge == 0.0 ? 1e-12 * unit : ridge * 1e3;
+        VMAP_LOG(kWarn) << "degraded refit Gram was not positive definite; "
+                           "recovered with ridge " << ridge;
+      return chol->solve(cross);
     }
+    ridge = ridge == 0.0 ? 1e-12 * unit : ridge * 1e3;
   }
   for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
   return linalg::Cholesky(gram).solve(cross);  // last attempt may throw

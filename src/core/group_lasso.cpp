@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -91,7 +93,10 @@ GroupLassoResult GroupLasso::solve_penalized(
   GroupLassoResult result = options_.solver == GlSolver::kBcd
                                 ? solve_bcd(mu, warm_start)
                                 : solve_fista(mu, warm_start);
-  finalize(result, mu);
+  // On numerical breakdown the coefficients are garbage; leave the summary
+  // fields zeroed rather than propagating NaN through them.
+  if (result.status.ok()) finalize(result, mu);
+  else result.penalty_weight = mu;
   return result;
 }
 
@@ -121,6 +126,10 @@ GroupLassoResult GroupLasso::solve_bcd(
       r[k] = b(k, m) - p(k, m) + beta(k, m) * amm;
       r_norm_sq += r[k] * r[k];
     }
+    // Non-finite residual: the iterate has blown up. Surface an infinite
+    // violation so the sweep loop can abort with a kNumerical status.
+    if (!std::isfinite(r_norm_sq))
+      return std::numeric_limits<double>::infinity();
     const double r_norm = std::sqrt(r_norm_sq);
 
     // Group soft threshold then scale by 1/A_mm.
@@ -171,6 +180,13 @@ GroupLassoResult GroupLasso::solve_bcd(
       }
     }
     ++result.iterations;
+    if (!std::isfinite(full_violation)) {
+      result.status = Status::Numerical(
+          "non-finite iterate in group-lasso BCD (sweep " +
+          std::to_string(result.iterations) + ", mu=" + std::to_string(mu) +
+          ")");
+      return result;
+    }
     if (full_violation < options_.tolerance) {
       result.converged = true;
       break;
@@ -180,6 +196,13 @@ GroupLassoResult GroupLasso::solve_bcd(
       for (std::size_t m : active)
         inner_violation = std::max(inner_violation, update_group(m));
       ++result.iterations;
+      if (!std::isfinite(inner_violation)) {
+        result.status = Status::Numerical(
+            "non-finite iterate in group-lasso BCD (sweep " +
+            std::to_string(result.iterations) + ", mu=" + std::to_string(mu) +
+            ")");
+        return result;
+      }
       if (inner_violation < options_.tolerance) break;
     }
   }
@@ -235,6 +258,12 @@ GroupLassoResult GroupLasso::solve_fista(
       double norm_sq = 0.0;
       for (std::size_t k = 0; k < k_count; ++k)
         norm_sq += next(k, m) * next(k, m);
+      if (!std::isfinite(norm_sq)) {
+        result.status = Status::Numerical(
+            "non-finite iterate in group-lasso FISTA (iteration " +
+            std::to_string(it + 1) + ", mu=" + std::to_string(mu) + ")");
+        return result;
+      }
       const double norm = std::sqrt(norm_sq);
       const double scale = norm <= step_mu ? 0.0 : 1.0 - step_mu / norm;
       for (std::size_t k = 0; k < k_count; ++k) next(k, m) *= scale;
@@ -289,6 +318,7 @@ GroupLassoResult GroupLasso::solve_budget(double lambda) const {
   constexpr double kWalkShrink = 0.4;
   double hi = hi_mu;                      // feasible side
   GroupLassoResult best = solve_penalized(hi_mu);  // zero solution
+  if (!best.status.ok()) return best;
   std::optional<linalg::Matrix> warm = best.beta;
 
   double lo = -1.0;  // infeasible side, found during the walk
@@ -296,6 +326,7 @@ GroupLassoResult GroupLasso::solve_budget(double lambda) const {
   for (double mu = hi_mu * kWalkShrink; mu >= hi_mu * kFloorFactor;
        mu *= kWalkShrink) {
     GroupLassoResult res = solve_penalized(mu, warm);
+    if (!res.status.ok()) return res;
     warm = res.beta;
     if (res.budget > lambda) {
       lo = mu;
@@ -321,6 +352,7 @@ GroupLassoResult GroupLasso::solve_budget(double lambda) const {
   for (std::size_t it = 0; it < options_.budget_bisections; ++it) {
     const double mid = std::sqrt(lo * hi);
     GroupLassoResult res = solve_penalized(mid, warm);
+    if (!res.status.ok()) return res;
     warm = res.beta;
     if (res.budget <= lambda) {
       hi = mid;

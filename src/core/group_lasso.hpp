@@ -19,6 +19,7 @@
 
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
+#include "util/status.hpp"
 
 namespace vmap::core {
 
@@ -56,6 +57,10 @@ struct GroupLassoResult {
   double objective = 0.0;       ///< ½||G − βZ||²_F + μ Σ||β_m||₂
   std::size_t iterations = 0;
   bool converged = false;
+  /// kOk normally (even when converged == false: hitting the iteration cap
+  /// is a usable-but-inexact outcome). kNumerical when the iterates went
+  /// non-finite — the coefficients are then garbage and must not be used.
+  Status status;
 
   /// Groups with ||β_m||₂ strictly above `threshold`.
   std::vector<std::size_t> active_groups(double threshold) const;

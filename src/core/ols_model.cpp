@@ -1,13 +1,16 @@
 #include "core/ols_model.hpp"
 
 #include <cmath>
+#include <string>
 
+#include "linalg/cholesky.hpp"
 #include "linalg/qr.hpp"
 #include "util/assert.hpp"
 
 namespace vmap::core {
 
-OlsModel::OlsModel(const linalg::Matrix& x_selected, const linalg::Matrix& f) {
+OlsModel::OlsModel(const linalg::Matrix& x_selected, const linalg::Matrix& f,
+                   ResilienceReport* report, const char* stage) {
   const std::size_t q = x_selected.rows();
   const std::size_t n = x_selected.cols();
   const std::size_t k = f.rows();
@@ -24,7 +27,42 @@ OlsModel::OlsModel(const linalg::Matrix& x_selected, const linalg::Matrix& f) {
   // Responses: one column per block, rows are samples.
   linalg::Matrix targets = f.transposed();
   linalg::QR qr(design);
-  linalg::Matrix coef = qr.solve(targets);  // (q+1) x k
+  if (report) report->record_condition(stage, qr.condition_estimate());
+  linalg::Matrix coef;  // (q+1) x k
+  StatusOr<linalg::Matrix> solved = qr.try_solve(targets);
+  if (solved.ok()) {
+    coef = std::move(solved).value();
+  } else {
+    // Rank-deficient design (duplicate / constant sensor rows). Refit via
+    // the normal equations with an escalating ridge jitter scaled to the
+    // average Gram diagonal, so the fix is dimensionally sensible.
+    linalg::Matrix gram = linalg::matmul_at_b(design, design);
+    const linalg::Matrix rhs = linalg::matmul_at_b(design, targets);
+    double trace = 0.0;
+    for (std::size_t i = 0; i < gram.rows(); ++i) trace += gram(i, i);
+    const double unit =
+        trace > 0.0 ? trace / static_cast<double>(gram.rows()) : 1.0;
+    bool recovered = false;
+    for (const double scale : {1e-10, 1e-8, 1e-6, 1e-4, 1e-2}) {
+      const double ridge = unit * scale;
+      linalg::Matrix jittered = gram;
+      for (std::size_t i = 0; i < jittered.rows(); ++i)
+        jittered(i, i) += ridge;
+      StatusOr<linalg::Cholesky> chol =
+          linalg::Cholesky::try_factorize(jittered);
+      if (!chol.ok()) continue;
+      coef = chol->solve(rhs);
+      used_ridge_fallback_ = true;
+      recovered = true;
+      if (report)
+        report->record(stage, ResilienceAction::kFallback,
+                       "rank-deficient OLS design; ridge-jittered refit "
+                       "(ridge = " + std::to_string(ridge) + ")",
+                       ErrorCode::kNumerical, ridge);
+      break;
+    }
+    if (!recovered) throw ContractError(solved.status().to_string());
+  }
 
   alpha_ = linalg::Matrix(k, q);
   intercept_ = linalg::Vector(k);

@@ -14,6 +14,7 @@
 
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
+#include "util/resilience.hpp"
 
 namespace vmap::core {
 
@@ -22,7 +23,19 @@ class OlsModel {
  public:
   /// Fits from training data: `x_selected` is Q x N (selected sensor rows of
   /// X), `f` is K x N. Requires N >= Q + 1.
-  OlsModel(const linalg::Matrix& x_selected, const linalg::Matrix& f);
+  ///
+  /// The happy path solves through QR. When the design is numerically rank
+  /// deficient (duplicate or constant sensor rows), the fit falls back to a
+  /// ridge-jittered normal-equation refit with an escalating jitter instead
+  /// of failing; the fallback (and the design's condition estimate) is
+  /// recorded into `report` when one is supplied. Throws ContractError only
+  /// when even the largest jitter cannot produce an SPD system.
+  explicit OlsModel(const linalg::Matrix& x_selected, const linalg::Matrix& f,
+                    ResilienceReport* report = nullptr,
+                    const char* stage = "ols_refit");
+
+  /// True when the ridge fallback (rather than plain QR) produced the fit.
+  bool used_ridge_fallback() const { return used_ridge_fallback_; }
 
   std::size_t sensors() const { return alpha_.cols(); }
   std::size_t responses() const { return alpha_.rows(); }
@@ -44,6 +57,7 @@ class OlsModel {
   linalg::Matrix alpha_;
   linalg::Vector intercept_;
   double train_rmse_ = 0.0;
+  bool used_ridge_fallback_ = false;
 };
 
 /// Aggregated relative prediction error (Table 1's metric):

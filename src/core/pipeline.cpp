@@ -113,7 +113,7 @@ void gl_coefficients_to_affine(const GroupLassoResult& gl,
 CoreModel fit_core(const Dataset& data, std::size_t core_index,
                    std::vector<std::size_t> candidate_rows,
                    std::vector<std::size_t> block_rows,
-                   const PipelineConfig& config) {
+                   const PipelineConfig& config, ResilienceReport* report) {
   VMAP_REQUIRE(!candidate_rows.empty(), "no candidates for this core");
   VMAP_REQUIRE(!block_rows.empty(), "no blocks for this core");
 
@@ -130,9 +130,38 @@ CoreModel fit_core(const Dataset& data, std::size_t core_index,
   const linalg::Matrix z = x_norm.normalize(x);
   const linalg::Matrix g = f_norm.normalize(f);
 
-  // Step 4: budgeted group lasso.
-  GroupLasso solver(GroupLassoProblem::from_data(z, g), config.gl_options);
-  const GroupLassoResult gl = solver.solve_budget(config.lambda);
+  // Step 4: budgeted group lasso. A numerical breakdown in FISTA (the
+  // gradient path can blow up on pathological Grams) is retried with BCD,
+  // whose exact group updates cannot overshoot.
+  const GroupLassoProblem problem = GroupLassoProblem::from_data(z, g);
+  GroupLasso solver(problem, config.gl_options);
+  GroupLassoResult gl = solver.solve_budget(config.lambda);
+  if (!gl.status.ok() && config.gl_options.solver == GlSolver::kFista) {
+    if (report)
+      report->record("group_lasso", ResilienceAction::kFallback,
+                     "core " + std::to_string(core_index) + ": FISTA failed (" +
+                         gl.status.to_string() + "); retrying with BCD",
+                     gl.status.code());
+    VMAP_LOG(kWarn) << "core " << core_index << ": FISTA failed ("
+                    << gl.status.to_string() << "); retrying with BCD";
+    GroupLassoOptions bcd_options = config.gl_options;
+    bcd_options.solver = GlSolver::kBcd;
+    GroupLasso bcd_solver(problem, bcd_options);
+    gl = bcd_solver.solve_budget(config.lambda);
+  }
+  if (!gl.status.ok()) throw StatusError(gl.status);
+  if (!gl.converged) {
+    // Inexact but usable: the solve stopped at the iteration cap. Surface
+    // it — selection quality may suffer — but keep going.
+    VMAP_LOG(kWarn) << "core " << core_index
+                    << ": group lasso stopped at the iteration cap; using "
+                       "the inexact solution";
+    if (report)
+      report->record("group_lasso", ResilienceAction::kNote,
+                     "core " + std::to_string(core_index) +
+                         ": iteration cap hit; using the inexact solution",
+                     ErrorCode::kNotConverged, gl.budget);
+  }
   core.group_norms = gl.group_norms;
 
   // Step 5: selection. The OLS refit needs more samples than regressors,
@@ -164,7 +193,7 @@ CoreModel fit_core(const Dataset& data, std::size_t core_index,
   // Steps 6-8: prediction model on the selected sensors.
   if (config.refit_ols) {
     const linalg::Matrix x_sel = data.x_train.select_rows(core.selected_rows);
-    OlsModel ols(x_sel, f);
+    OlsModel ols(x_sel, f, report);
     core.alpha = ols.alpha();
     core.intercept = ols.intercept();
   } else {
@@ -177,7 +206,8 @@ CoreModel fit_core(const Dataset& data, std::size_t core_index,
 
 PlacementModel fit_placement(const Dataset& data,
                              const chip::Floorplan& floorplan,
-                             const PipelineConfig& config) {
+                             const PipelineConfig& config,
+                             ResilienceReport* report) {
   VMAP_REQUIRE(config.lambda > 0.0, "lambda must be positive");
   VMAP_REQUIRE(config.threshold >= 0.0, "threshold must be non-negative");
   VMAP_REQUIRE(data.critical_block.size() == data.num_blocks(),
@@ -193,7 +223,7 @@ PlacementModel fit_placement(const Dataset& data,
       cores[c] = fit_core(data, c,
                           data.candidate_rows_for_core(floorplan, c),
                           data.critical_rows_for_core(floorplan, c),
-                          config);
+                          config, report);
     });
   } else {
     std::vector<std::size_t> all_candidates(data.num_candidates());
@@ -201,7 +231,7 @@ PlacementModel fit_placement(const Dataset& data,
     std::vector<std::size_t> all_blocks(data.num_blocks());
     std::iota(all_blocks.begin(), all_blocks.end(), 0);
     cores.push_back(fit_core(data, 0, std::move(all_candidates),
-                             std::move(all_blocks), config));
+                             std::move(all_blocks), config, report));
   }
 
   // Gather the union of selected rows, then map rows to grid nodes.

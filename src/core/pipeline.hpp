@@ -20,6 +20,7 @@
 #include "core/group_lasso.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
+#include "util/resilience.hpp"
 
 namespace vmap::core {
 
@@ -81,9 +82,13 @@ class PlacementModel {
 
 /// Runs the methodology on a dataset. Throws on configuration errors; falls
 /// back to the strongest single candidate if a core's GL solution selects
-/// nothing at the given λ/T (logged).
+/// nothing at the given λ/T (logged). Numerical breakdowns are handled by
+/// the solver guardrails (FISTA → BCD retry, rank-deficient OLS → ridge
+/// refit); each recovery is recorded into `report` when one is supplied.
+/// Throws StatusError only when every fallback fails.
 PlacementModel fit_placement(const Dataset& data,
                              const chip::Floorplan& floorplan,
-                             const PipelineConfig& config);
+                             const PipelineConfig& config,
+                             ResilienceReport* report = nullptr);
 
 }  // namespace vmap::core

@@ -107,15 +107,16 @@ const linalg::Vector& TransientSim::step(
     for (std::size_t pad : pads) rhs[pad] += injection[pad];
   }
 
-  if (solver_kind_ == StepSolver::kDirect) {
+  if (solver_kind_ == StepSolver::kDirect || pcg_degraded_) {
     v_ = direct_->solve(rhs);
   } else {
-    sparse::CgOptions options;
-    options.tolerance = 1e-10;
-    auto result =
-        sparse::conjugate_gradient(step_matrix_, rhs, pcg_precond_, options);
-    VMAP_REQUIRE(result.converged, "PCG failed to converge in transient step");
-    v_ = std::move(result.x);
+    StatusOr<sparse::CgResult> result = sparse::conjugate_gradient_checked(
+        step_matrix_, rhs, pcg_precond_, cg_options_);
+    if (result.ok() && result->converged) {
+      v_ = std::move(result->x);
+    } else {
+      solve_with_fallback(rhs, result);
+    }
   }
 
   if (inductive_) {
@@ -125,6 +126,58 @@ const linalg::Vector& TransientSim::step(
   }
   ++steps_;
   return v_;
+}
+
+void TransientSim::solve_with_fallback(
+    const linalg::Vector& rhs, const StatusOr<sparse::CgResult>& failed) {
+  if (report_) {
+    if (!failed.ok()) {
+      report_->record("transient_step", ResilienceAction::kRetry,
+                      "PCG breakdown (" + failed.status().to_string() +
+                          "); retrying with shifted IC(0)",
+                      failed.status().code());
+    } else {
+      report_->record("transient_step", ResilienceAction::kRetry,
+                      "PCG hit iteration cap; retrying with shifted IC(0)",
+                      ErrorCode::kNotConverged, failed->relative_residual);
+    }
+  }
+
+  // Rung 1: rebuild the preconditioner with a diagonal shift and retry.
+  // On success the sturdier preconditioner is kept for subsequent steps so
+  // the same failure is not re-triggered (and re-reported) every step.
+  StatusOr<sparse::Preconditioner> shifted =
+      sparse::try_ic0_preconditioner(step_matrix_, 1e-2);
+  if (shifted.ok()) {
+    StatusOr<sparse::CgResult> retry = sparse::conjugate_gradient_checked(
+        step_matrix_, rhs, shifted.value(), cg_options_);
+    if (retry.ok() && retry->converged) {
+      v_ = std::move(retry->x);
+      pcg_precond_ = std::move(shifted).value();
+      if (report_)
+        report_->record("transient_step", ResilienceAction::kFallback,
+                        "recovered via shifted-IC(0) PCG; keeping shifted "
+                        "preconditioner",
+                        ErrorCode::kOk, retry->relative_residual);
+      return;
+    }
+  }
+
+  // Rung 2: direct skyline solve. The factorization is built lazily and the
+  // simulator permanently degrades to it — one event, not one per step.
+  if (!direct_) direct_ = std::make_unique<sparse::SkylineCholesky>(step_matrix_);
+  v_ = direct_->solve(rhs);
+  pcg_degraded_ = true;
+  if (report_)
+    report_->record("transient_step", ResilienceAction::kFallback,
+                    "PCG unrecoverable; permanently degraded to skyline "
+                    "direct stepping",
+                    ErrorCode::kNotConverged);
+}
+
+const char* TransientSim::active_solver() const {
+  if (solver_kind_ == StepSolver::kDirect) return "direct";
+  return pcg_degraded_ ? "pcg-degraded->direct" : "pcg-ic0";
 }
 
 }  // namespace vmap::grid

@@ -24,6 +24,7 @@
 #include "linalg/vector.hpp"
 #include "sparse/cg.hpp"
 #include "sparse/skyline_cholesky.hpp"
+#include "util/resilience.hpp"
 
 namespace vmap::grid {
 
@@ -62,7 +63,27 @@ class TransientSim {
   /// grid.pad_nodes(); all zeros when the pads have no inductance.
   const linalg::Vector& pad_currents() const { return pad_currents_; }
 
+  /// Attaches a resilience report; solver fallbacks taken during step()
+  /// are recorded into it. The report must outlive the simulator (or be
+  /// detached with nullptr first). Not owned.
+  void set_resilience_report(ResilienceReport* report) { report_ = report; }
+
+  /// Overrides the PCG options used by kPcgIc0 stepping (tolerance,
+  /// iteration cap, divergence guard). No effect on the direct solver.
+  void set_cg_options(const sparse::CgOptions& options) {
+    cg_options_ = options;
+  }
+
+  /// The solver currently answering step(): "direct", "pcg-ic0", or
+  /// "pcg-degraded->direct" once the PCG path has permanently escalated.
+  const char* active_solver() const;
+
  private:
+  /// Escalation ladder for a failed PCG step: shifted-IC(0) retry, then a
+  /// lazily built direct factorization (permanent degradation).
+  void solve_with_fallback(const linalg::Vector& rhs,
+                           const StatusOr<sparse::CgResult>& failed);
+
   const PowerGrid& grid_;
   double dt_;
   StepSolver solver_kind_;
@@ -72,6 +93,9 @@ class TransientSim {
   sparse::CsrMatrix step_matrix_;  // G (+ pad companion) + C/dt
   std::unique_ptr<sparse::SkylineCholesky> direct_;
   sparse::Preconditioner pcg_precond_;
+  sparse::CgOptions cg_options_;
+  ResilienceReport* report_ = nullptr;  // not owned
+  bool pcg_degraded_ = false;  ///< PCG path permanently escalated to direct
   linalg::Vector c_over_dt_;
   linalg::Vector v_;
   linalg::Vector pad_currents_;

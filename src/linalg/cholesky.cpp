@@ -1,18 +1,24 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/assert.hpp"
 
 namespace vmap::linalg {
 
-Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
+Status Cholesky::factorize(const Matrix& a) {
   VMAP_REQUIRE(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  l_ = Matrix(a.rows(), a.cols());
   const std::size_t n = a.rows();
   for (std::size_t j = 0; j < n; ++j) {
     double diag = a(j, j);
     for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
-    VMAP_REQUIRE(diag > 0.0, "matrix is not positive definite");
+    if (!(diag > 0.0))
+      return Status::Numerical(
+          "matrix is not positive definite (pivot " + std::to_string(j) +
+          " = " + std::to_string(diag) + ")");
     const double ljj = std::sqrt(diag);
     l_(j, j) = ljj;
     for (std::size_t i = j + 1; i < n; ++i) {
@@ -23,6 +29,30 @@ Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
       l_(i, j) = acc / ljj;
     }
   }
+  return Status::Ok();
+}
+
+Cholesky::Cholesky(const Matrix& a) {
+  const Status status = factorize(a);
+  if (!status.ok()) throw ContractError(status.to_string());
+}
+
+StatusOr<Cholesky> Cholesky::try_factorize(const Matrix& a) {
+  Cholesky chol;
+  Status status = chol.factorize(a);
+  if (!status.ok()) return status;
+  return chol;
+}
+
+double Cholesky::condition_estimate() const {
+  double mx = 0.0, mn = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < dim(); ++i) {
+    mx = std::max(mx, l_(i, i));
+    mn = std::min(mn, l_(i, i));
+  }
+  if (!(mn > 0.0)) return std::numeric_limits<double>::infinity();
+  const double ratio = mx / mn;
+  return ratio * ratio;
 }
 
 Vector Cholesky::solve(const Vector& b) const {

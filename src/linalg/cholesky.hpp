@@ -6,19 +6,25 @@
 
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
+#include "util/status.hpp"
 
 namespace vmap::linalg {
 
 /// Lower-triangular Cholesky factorization A = L L^T of an SPD matrix.
 ///
-/// Throws vmap::ContractError if the matrix is not (numerically) positive
-/// definite. The factor is stored densely; only the lower triangle is
-/// meaningful.
+/// The throwing constructor raises vmap::ContractError if the matrix is not
+/// (numerically) positive definite; try_factorize() reports the same
+/// breakdown as a recoverable Status instead. The factor is stored densely;
+/// only the lower triangle is meaningful.
 class Cholesky {
  public:
   /// Factorizes `a` (must be square and symmetric; symmetry is trusted, the
-  /// strictly-upper triangle is ignored).
+  /// strictly-upper triangle is ignored). Throws on numerical breakdown.
   explicit Cholesky(const Matrix& a);
+
+  /// Non-throwing factorization: Status kNumerical when a pivot goes
+  /// non-positive (matrix not positive definite).
+  static StatusOr<Cholesky> try_factorize(const Matrix& a);
 
   std::size_t dim() const { return l_.rows(); }
   const Matrix& factor() const { return l_; }
@@ -31,7 +37,16 @@ class Cholesky {
   /// log(det A) computed from the factor (stable for near-singular A).
   double log_det() const;
 
+  /// Cheap 2-norm condition estimate from the factor diagonal:
+  /// (max L_ii / min L_ii)^2. A lower bound on cond_2(A), adequate for
+  /// guardrail decisions and resilience accounting.
+  double condition_estimate() const;
+
  private:
+  Cholesky() = default;
+  /// Shared factorization core; on failure l_ is unspecified.
+  Status factorize(const Matrix& a);
+
   Matrix l_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/assert.hpp"
 
@@ -54,7 +55,7 @@ void QR::apply_qt(Vector& v) const {
   }
 }
 
-Vector QR::solve(const Vector& b) const {
+StatusOr<Vector> QR::try_solve(const Vector& b) const {
   const std::size_t n = qr_.cols();
   Vector y = b;
   apply_qt(y);
@@ -69,18 +70,49 @@ Vector QR::solve(const Vector& b) const {
     double acc = y[ii];
     for (std::size_t j = ii + 1; j < n; ++j) acc -= qr_(ii, j) * x[j];
     const double rii = qr_(ii, ii);
-    VMAP_REQUIRE(std::abs(rii) > 1e-13 * std::max(max_diag, 1.0),
-                 "rank-deficient least-squares system");
+    if (!(std::abs(rii) > 1e-13 * std::max(max_diag, 1.0)))
+      return Status::Numerical(
+          "rank-deficient least-squares system (|R_" + std::to_string(ii) +
+          "," + std::to_string(ii) + "| = " + std::to_string(std::abs(rii)) +
+          ")");
     x[ii] = acc / rii;
   }
   return x;
 }
 
-Matrix QR::solve(const Matrix& b) const {
+StatusOr<Matrix> QR::try_solve(const Matrix& b) const {
   VMAP_REQUIRE(b.rows() == qr_.rows(), "rhs rows mismatch in QR::solve");
   Matrix x(qr_.cols(), b.cols());
-  for (std::size_t c = 0; c < b.cols(); ++c) x.set_col(c, solve(b.col(c)));
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    StatusOr<Vector> col = try_solve(b.col(c));
+    if (!col.ok()) return col.status();
+    x.set_col(c, col.value());
+  }
   return x;
+}
+
+Vector QR::solve(const Vector& b) const {
+  StatusOr<Vector> x = try_solve(b);
+  if (!x.ok()) throw ContractError(x.status().to_string());
+  return std::move(x).value();
+}
+
+Matrix QR::solve(const Matrix& b) const {
+  StatusOr<Matrix> x = try_solve(b);
+  if (!x.ok()) throw ContractError(x.status().to_string());
+  return std::move(x).value();
+}
+
+double QR::condition_estimate() const {
+  const std::size_t n = qr_.cols();
+  double mx = 0.0, mn = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rii = std::abs(qr_(i, i));
+    mx = std::max(mx, rii);
+    mn = std::min(mn, rii);
+  }
+  if (!(mn > 0.0)) return std::numeric_limits<double>::infinity();
+  return mx / mn;
 }
 
 Matrix QR::r() const {

@@ -10,6 +10,7 @@
 
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
+#include "util/status.hpp"
 
 namespace vmap::linalg {
 
@@ -29,6 +30,17 @@ class QR {
   Vector solve(const Vector& b) const;
   /// Column-wise least-squares solve A X = B.
   Matrix solve(const Matrix& b) const;
+
+  /// Non-throwing least-squares solves: Status kNumerical on a rank-
+  /// deficient system instead of an exception, so callers can fall back
+  /// (e.g. to a ridge-jittered normal-equation refit).
+  StatusOr<Vector> try_solve(const Vector& b) const;
+  StatusOr<Matrix> try_solve(const Matrix& b) const;
+
+  /// Cheap 2-norm condition estimate from the R diagonal:
+  /// max|R_ii| / min|R_ii| (a lower bound on cond_2(A); +inf when some
+  /// R_ii is exactly zero).
+  double condition_estimate() const;
 
   /// Explicit R factor (n x n upper triangular).
   Matrix r() const;

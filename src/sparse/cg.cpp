@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <string>
 
+#include "sparse/skyline_cholesky.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -34,8 +36,10 @@ struct IcFactor {
 };
 
 /// Builds IC(0): L with the sparsity of tril(A), L L^T ≈ A.
-/// If a pivot goes non-positive, restarts with a larger diagonal shift.
-IcFactor build_ic0(const CsrMatrix& a) {
+/// If a pivot goes non-positive, restarts with a larger diagonal shift;
+/// `initial_shift` > 0 starts already shifted. Status kNumerical once the
+/// shift ladder is exhausted.
+StatusOr<IcFactor> build_ic0(const CsrMatrix& a, double initial_shift) {
   const std::size_t n = a.rows();
   IcFactor f;
   f.n = n;
@@ -65,7 +69,7 @@ IcFactor build_ic0(const CsrMatrix& a) {
   }
 
   const std::vector<double> original = f.values;
-  double shift = 0.0;
+  double shift = initial_shift;
   for (int attempt = 0; attempt < 8; ++attempt) {
     f.values = original;
     if (shift > 0.0) {
@@ -113,7 +117,8 @@ IcFactor build_ic0(const CsrMatrix& a) {
     shift = shift == 0.0 ? 1e-3 : shift * 10.0;
     VMAP_LOG(kDebug) << "IC(0) pivot failure; retrying with shift " << shift;
   }
-  throw ContractError("IC(0) failed even with diagonal shifting");
+  return Status::Numerical("IC(0) failed even with diagonal shifting (final shift " +
+                           std::to_string(shift) + ")");
 }
 
 linalg::Vector ic_solve(const IcFactor& f, const linalg::Vector& r) {
@@ -139,14 +144,25 @@ linalg::Vector ic_solve(const IcFactor& f, const linalg::Vector& r) {
 }  // namespace
 
 Preconditioner ic0_preconditioner(const CsrMatrix& a) {
-  VMAP_REQUIRE(a.rows() == a.cols(), "IC(0) requires a square matrix");
-  auto factor = std::make_shared<IcFactor>(build_ic0(a));
-  return [factor](const linalg::Vector& r) { return ic_solve(*factor, r); };
+  StatusOr<Preconditioner> m = try_ic0_preconditioner(a);
+  if (!m.ok()) throw ContractError(m.status().to_string());
+  return std::move(m).value();
 }
 
-CgResult conjugate_gradient(const CsrMatrix& a, const linalg::Vector& b,
-                            const Preconditioner& m,
-                            const CgOptions& options) {
+StatusOr<Preconditioner> try_ic0_preconditioner(const CsrMatrix& a,
+                                                double initial_shift) {
+  VMAP_REQUIRE(a.rows() == a.cols(), "IC(0) requires a square matrix");
+  StatusOr<IcFactor> built = build_ic0(a, initial_shift);
+  if (!built.ok()) return built.status();
+  auto factor = std::make_shared<IcFactor>(std::move(built).value());
+  return Preconditioner(
+      [factor](const linalg::Vector& r) { return ic_solve(*factor, r); });
+}
+
+StatusOr<CgResult> conjugate_gradient_checked(const CsrMatrix& a,
+                                              const linalg::Vector& b,
+                                              const Preconditioner& m,
+                                              const CgOptions& options) {
   VMAP_REQUIRE(a.rows() == a.cols(), "CG requires a square matrix");
   VMAP_REQUIRE(b.size() == a.rows(), "CG rhs size mismatch");
 
@@ -160,6 +176,8 @@ CgResult conjugate_gradient(const CsrMatrix& a, const linalg::Vector& b,
     result.converged = true;
     return result;
   }
+  if (!std::isfinite(bnorm))
+    return Status::Numerical("non-finite right-hand side in CG");
 
   linalg::Vector z = m(r);
   linalg::Vector p = z;
@@ -168,13 +186,28 @@ CgResult conjugate_gradient(const CsrMatrix& a, const linalg::Vector& b,
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     linalg::Vector ap = a.multiply(p);
     const double pap = linalg::dot(p, ap);
-    VMAP_REQUIRE(pap > 0.0, "matrix is not positive definite in CG");
+    if (!std::isfinite(pap))
+      return Status::Numerical("non-finite curvature p^T A p in CG iteration " +
+                               std::to_string(it + 1));
+    if (!(pap > 0.0))
+      return Status::Numerical(
+          "matrix is not positive definite in CG (p^T A p = " +
+          std::to_string(pap) + " at iteration " + std::to_string(it + 1) +
+          ")");
     const double alpha = rz / pap;
     linalg::axpy(alpha, p, result.x);
     linalg::axpy(-alpha, ap, r);
 
     result.iterations = it + 1;
     result.relative_residual = r.norm2() / bnorm;
+    if (!std::isfinite(result.relative_residual))
+      return Status::Numerical("non-finite residual in CG iteration " +
+                               std::to_string(it + 1));
+    if (result.relative_residual > options.divergence_factor)
+      return Status::Numerical(
+          "CG diverged (relative residual " +
+          std::to_string(result.relative_residual) + " at iteration " +
+          std::to_string(it + 1) + ")");
     if (result.relative_residual < options.tolerance) {
       result.converged = true;
       return result;
@@ -190,6 +223,96 @@ CgResult conjugate_gradient(const CsrMatrix& a, const linalg::Vector& b,
                   << result.relative_residual << " after "
                   << result.iterations << " iterations";
   return result;
+}
+
+CgResult conjugate_gradient(const CsrMatrix& a, const linalg::Vector& b,
+                            const Preconditioner& m,
+                            const CgOptions& options) {
+  StatusOr<CgResult> result = conjugate_gradient_checked(a, b, m, options);
+  if (!result.ok()) throw ContractError(result.status().to_string());
+  return std::move(result).value();
+}
+
+StatusOr<SpdSolveResult> solve_spd_resilient(const CsrMatrix& a,
+                                             const linalg::Vector& b,
+                                             const Preconditioner& m,
+                                             const CgOptions& options,
+                                             ResilienceReport* report) {
+  const auto record = [&](ResilienceAction action, const std::string& detail,
+                          ErrorCode code, double value) {
+    if (report) report->record("spd_solve", action, detail, code, value);
+  };
+
+  // Rung 0: CG with the caller's preconditioner.
+  StatusOr<CgResult> first = conjugate_gradient_checked(a, b, m, options);
+  if (first.ok() && first->converged) {
+    SpdSolveResult out;
+    out.x = std::move(first->x);
+    out.solver = "cg";
+    out.iterations = first->iterations;
+    out.relative_residual = first->relative_residual;
+    out.fallbacks = 0;
+    return out;
+  }
+  if (!first.ok()) {
+    record(ResilienceAction::kRetry,
+           "CG breakdown (" + first.status().to_string() +
+               "); retrying with shifted IC(0)",
+           first.status().code(), 0.0);
+  } else {
+    record(ResilienceAction::kRetry,
+           "CG hit iteration cap without converging; retrying with shifted "
+           "IC(0)",
+           ErrorCode::kNotConverged, first->relative_residual);
+  }
+
+  // Rung 1: CG retry with a diagonally shifted IC(0) preconditioner —
+  // a cruder but sturdier approximation for near-indefinite systems.
+  StatusOr<Preconditioner> shifted = try_ic0_preconditioner(a, 1e-2);
+  if (shifted.ok()) {
+    StatusOr<CgResult> second =
+        conjugate_gradient_checked(a, b, shifted.value(), options);
+    if (second.ok() && second->converged) {
+      record(ResilienceAction::kFallback,
+             "recovered via shifted-IC(0) CG retry", ErrorCode::kOk,
+             second->relative_residual);
+      SpdSolveResult out;
+      out.x = std::move(second->x);
+      out.solver = "cg+shifted-ic0";
+      out.iterations = second->iterations;
+      out.relative_residual = second->relative_residual;
+      out.fallbacks = 1;
+      return out;
+    }
+  }
+
+  // Rung 2: skyline Cholesky direct solve — slow but has no convergence
+  // failure mode; only genuine indefiniteness can stop it.
+  StatusOr<SkylineCholesky> direct = SkylineCholesky::try_factorize(a);
+  if (!direct.ok()) {
+    Status failure = Status::Numerical(
+        "SPD solve failed on every ladder rung (CG, shifted-IC(0) CG, "
+        "skyline direct)");
+    failure.with_cause(direct.status());
+    record(ResilienceAction::kNote, "skyline direct factorization failed",
+           direct.status().code(), 0.0);
+    return failure;
+  }
+  linalg::Vector x = direct->solve(b);
+  linalg::Vector residual = a.multiply(x);
+  for (std::size_t i = 0; i < residual.size(); ++i)
+    residual[i] = b[i] - residual[i];
+  const double bnorm = b.norm2();
+  const double rel = bnorm > 0.0 ? residual.norm2() / bnorm : 0.0;
+  record(ResilienceAction::kFallback,
+         "escalated to skyline direct solve", ErrorCode::kOk, rel);
+  SpdSolveResult out;
+  out.x = std::move(x);
+  out.solver = "direct";
+  out.iterations = 0;
+  out.relative_residual = rel;
+  out.fallbacks = 2;
+  return out;
 }
 
 }  // namespace vmap::sparse

@@ -4,12 +4,24 @@
 // Serves two roles: an alternative to the direct skyline factorization for
 // very large grids, and an independent solver the tests use to cross-check
 // the direct path.
+//
+// Two entry-point families:
+//   * conjugate_gradient()          — legacy throwing API (unchanged math);
+//   * conjugate_gradient_checked()  — returns StatusOr, detecting NaN/Inf
+//     and residual divergence inside the iteration instead of silently
+//     producing garbage; non-convergence is an OK result with
+//     converged == false, which callers must consume.
+// solve_spd_resilient() layers the escalation ladder on top:
+//     CG → diagonal-shifted IC(0) retry → skyline Cholesky direct solve,
+// recording every rung into an optional ResilienceReport.
 
 #include <cstddef>
 #include <functional>
 
 #include "linalg/vector.hpp"
 #include "sparse/csr.hpp"
+#include "util/resilience.hpp"
+#include "util/status.hpp"
 
 namespace vmap::sparse {
 
@@ -17,6 +29,10 @@ namespace vmap::sparse {
 struct CgOptions {
   std::size_t max_iterations = 2000;
   double tolerance = 1e-10;  // relative residual ||r|| / ||b||
+  /// Checked solves fail with kNumerical once ||r|| / ||b|| exceeds this
+  /// factor (residual blow-up means the "SPD" matrix is not, or the
+  /// preconditioner broke the Krylov recurrence).
+  double divergence_factor = 1e8;
 };
 
 struct CgResult {
@@ -40,8 +56,46 @@ Preconditioner jacobi_preconditioner(const CsrMatrix& a);
 /// of `a`. Falls back by raising the diagonal (shifted IC) if a pivot fails.
 Preconditioner ic0_preconditioner(const CsrMatrix& a);
 
-/// Solves A x = b for SPD A starting from x0 = 0.
+/// Non-throwing IC(0) construction. `initial_shift` > 0 starts the factor
+/// from a diagonally boosted matrix (diag *= 1 + shift) — the ladder's
+/// "shifted IC(0)" rung uses this to trade preconditioner quality for
+/// robustness on near-indefinite systems.
+StatusOr<Preconditioner> try_ic0_preconditioner(const CsrMatrix& a,
+                                                double initial_shift = 0.0);
+
+/// Solves A x = b for SPD A starting from x0 = 0. Throws ContractError on
+/// numerical breakdown (non-SPD / divergence), mirroring the historical
+/// behavior.
 CgResult conjugate_gradient(const CsrMatrix& a, const linalg::Vector& b,
                             const Preconditioner& m, const CgOptions& options);
+
+/// Status-returning CG: kNumerical on breakdown (non-finite values,
+/// pᵀAp <= 0, residual divergence); an OK result with converged == false
+/// when the iteration cap is hit. Bit-identical iterates to
+/// conjugate_gradient() on the healthy path.
+StatusOr<CgResult> conjugate_gradient_checked(const CsrMatrix& a,
+                                              const linalg::Vector& b,
+                                              const Preconditioner& m,
+                                              const CgOptions& options);
+
+/// Outcome of the resilient SPD solve, naming the rung that produced x.
+struct SpdSolveResult {
+  linalg::Vector x;
+  const char* solver = "cg";  ///< "cg" | "cg+shifted-ic0" | "direct"
+  std::size_t iterations = 0;
+  double relative_residual = 0.0;
+  std::size_t fallbacks = 0;  ///< ladder rungs consumed (0 = first try)
+};
+
+/// Escalation ladder: CG with the caller's preconditioner; on failure or
+/// non-convergence a CG retry with a diagonal-shifted IC(0); finally a
+/// skyline Cholesky direct solve. Rungs are recorded into `report` (when
+/// non-null). Fails only when every rung fails.
+StatusOr<SpdSolveResult> solve_spd_resilient(const CsrMatrix& a,
+                                             const linalg::Vector& b,
+                                             const Preconditioner& m,
+                                             const CgOptions& options,
+                                             ResilienceReport* report =
+                                                 nullptr);
 
 }  // namespace vmap::sparse

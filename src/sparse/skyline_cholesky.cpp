@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "sparse/ordering.hpp"
 #include "util/assert.hpp"
 
 namespace vmap::sparse {
 
-SkylineCholesky::SkylineCholesky(const CsrMatrix& a, bool use_rcm)
-    : n_(a.rows()) {
+Status SkylineCholesky::factorize(const CsrMatrix& a, bool use_rcm) {
+  n_ = a.rows();
   VMAP_REQUIRE(a.rows() == a.cols(), "Cholesky requires a square matrix");
   VMAP_REQUIRE(n_ > 0, "cannot factorize an empty matrix");
 
@@ -68,9 +70,37 @@ SkylineCholesky::SkylineCholesky(const CsrMatrix& a, bool use_rcm)
     }
     double d = diag_[i];
     for (std::size_t k = fi; k < i; ++k) d -= li[k - fi] * li[k - fi];
-    VMAP_REQUIRE(d > 0.0, "matrix is not positive definite");
+    if (!(d > 0.0))
+      return Status::Numerical("matrix is not positive definite (skyline pivot " +
+                               std::to_string(i) + " = " + std::to_string(d) +
+                               ")");
     diag_[i] = std::sqrt(d);
   }
+  return Status::Ok();
+}
+
+SkylineCholesky::SkylineCholesky(const CsrMatrix& a, bool use_rcm) {
+  const Status status = factorize(a, use_rcm);
+  if (!status.ok()) throw ContractError("matrix is not positive definite");
+}
+
+StatusOr<SkylineCholesky> SkylineCholesky::try_factorize(const CsrMatrix& a,
+                                                         bool use_rcm) {
+  SkylineCholesky chol;
+  Status status = chol.factorize(a, use_rcm);
+  if (!status.ok()) return status;
+  return chol;
+}
+
+double SkylineCholesky::condition_estimate() const {
+  double mx = 0.0, mn = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n_; ++i) {
+    mx = std::max(mx, diag_[i]);
+    mn = std::min(mn, diag_[i]);
+  }
+  if (!(mn > 0.0)) return std::numeric_limits<double>::infinity();
+  const double ratio = mx / mn;
+  return ratio * ratio;
 }
 
 linalg::Vector SkylineCholesky::solve(const linalg::Vector& b) const {

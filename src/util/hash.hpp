@@ -1,0 +1,24 @@
+#pragma once
+// FNV-1a 64-bit hashing, shared by the dataset-cache checksums and the
+// platform/workload configuration hashes. Seed chaining lets callers mix
+// several fields: h = fnv1a64(&a, sizeof a); h = fnv1a64(&b, sizeof b, h);
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vmap {
+
+inline constexpr std::uint64_t kFnv1a64Seed = 0xcbf29ce484222325ULL;
+
+inline std::uint64_t fnv1a64(const void* data, std::size_t size,
+                             std::uint64_t seed = kFnv1a64Seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace vmap

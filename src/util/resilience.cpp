@@ -1,0 +1,109 @@
+#include "util/resilience.hpp"
+
+#include <sstream>
+
+namespace vmap {
+
+const char* resilience_action_name(ResilienceAction action) {
+  switch (action) {
+    case ResilienceAction::kRetry:
+      return "retry";
+    case ResilienceAction::kFallback:
+      return "fallback";
+    case ResilienceAction::kRecollect:
+      return "recollect";
+    case ResilienceAction::kCondition:
+      return "condition";
+    case ResilienceAction::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+void ResilienceReport::record(const std::string& stage,
+                              ResilienceAction action,
+                              const std::string& detail, ErrorCode code,
+                              double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back({stage, action, detail, code, value});
+}
+
+void ResilienceReport::record_condition(const std::string& stage,
+                                        double estimate) {
+  record(stage, ResilienceAction::kCondition, "condition estimate",
+         ErrorCode::kOk, estimate);
+}
+
+std::vector<ResilienceEvent> ResilienceReport::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t ResilienceReport::count(ResilienceAction action) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& e : events_)
+    if (e.action == action) ++n;
+  return n;
+}
+
+double ResilienceReport::worst_condition() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double worst = 0.0;
+  for (const auto& e : events_)
+    if (e.action == ResilienceAction::kCondition && e.value > worst)
+      worst = e.value;
+  return worst;
+}
+
+bool ResilienceReport::clean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : events_)
+    if (e.action != ResilienceAction::kCondition) return false;
+  return true;
+}
+
+std::string ResilienceReport::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t retries = 0, fallbacks = 0, recollects = 0, notes = 0;
+  double worst = 0.0;
+  for (const auto& e : events_) {
+    switch (e.action) {
+      case ResilienceAction::kRetry:
+        ++retries;
+        break;
+      case ResilienceAction::kFallback:
+        ++fallbacks;
+        break;
+      case ResilienceAction::kRecollect:
+        ++recollects;
+        break;
+      case ResilienceAction::kNote:
+        ++notes;
+        break;
+      case ResilienceAction::kCondition:
+        if (e.value > worst) worst = e.value;
+        break;
+    }
+  }
+  std::ostringstream out;
+  out << "resilience: " << retries << " retries, " << fallbacks
+      << " fallbacks, " << recollects << " recollects, " << notes
+      << " notes";
+  if (worst > 0.0) out << ", worst condition estimate " << worst;
+  for (const auto& e : events_) {
+    out << "\n  [" << resilience_action_name(e.action) << "] " << e.stage
+        << ": " << e.detail;
+    if (e.code != ErrorCode::kOk) out << " (" << error_code_name(e.code)
+                                      << ")";
+    if (e.action == ResilienceAction::kCondition) out << " = " << e.value;
+  }
+  return out.str();
+}
+
+void ResilienceReport::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+}  // namespace vmap

@@ -1,0 +1,74 @@
+#pragma once
+// Per-run resilience accounting.
+//
+// Every guardrail in the pipeline (solver fallback ladders, ridge-jittered
+// refits, dataset-cache recollection, retry loops) records what it did into
+// a ResilienceReport, so a completed run can answer "did anything degrade,
+// and how?" instead of hiding recoveries in the log stream. The report is
+// thread-safe: per-core fits and dataset collection run on the thread pool.
+//
+// A report pointer is always optional (nullptr = no accounting); recording
+// must never change numerical results.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace vmap {
+
+/// What a guardrail did.
+enum class ResilienceAction {
+  kRetry,      ///< same stage re-attempted (possibly with a tweak)
+  kFallback,   ///< escalated to a different algorithm/data source
+  kRecollect,  ///< persisted state discarded, recomputed from scratch
+  kCondition,  ///< condition-number estimate observation
+  kNote,       ///< anomaly observed and tolerated (e.g. non-convergence)
+};
+
+const char* resilience_action_name(ResilienceAction action);
+
+struct ResilienceEvent {
+  std::string stage;   ///< e.g. "transient.pcg", "ols.refit", "dataset.cache"
+  ResilienceAction action = ResilienceAction::kNote;
+  std::string detail;
+  ErrorCode code = ErrorCode::kOk;  ///< what triggered the action
+  double value = 0.0;  ///< numeric payload (condition estimate, ridge, ...)
+};
+
+class ResilienceReport {
+ public:
+  void record(const std::string& stage, ResilienceAction action,
+              const std::string& detail, ErrorCode code = ErrorCode::kOk,
+              double value = 0.0);
+  /// Shorthand for a kCondition event carrying the estimate.
+  void record_condition(const std::string& stage, double estimate);
+
+  /// Snapshot of all events in recording order.
+  std::vector<ResilienceEvent> events() const;
+  std::size_t count(ResilienceAction action) const;
+  std::size_t retries() const { return count(ResilienceAction::kRetry); }
+  std::size_t fallbacks() const { return count(ResilienceAction::kFallback); }
+  std::size_t recollects() const {
+    return count(ResilienceAction::kRecollect);
+  }
+  /// Largest condition estimate recorded (0 if none).
+  double worst_condition() const;
+
+  /// True when nothing degraded: no retries, fallbacks, recollects, or
+  /// tolerated anomalies (condition observations alone keep a run clean).
+  bool clean() const;
+
+  /// One human-readable line per event, prefixed by a counters header.
+  std::string summary() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<ResilienceEvent> events_;
+};
+
+}  // namespace vmap

@@ -1,0 +1,54 @@
+#include "util/status.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace vmap {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kNumerical:
+      return "numerical";
+    case ErrorCode::kNotConverged:
+      return "not-converged";
+    case ErrorCode::kIo:
+      return "io";
+    case ErrorCode::kCorruption:
+      return "corruption";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out = std::string(error_code_name(code_)) + ": " + message_;
+  for (const Status* c = cause(); c != nullptr; c = c->cause())
+    out += " (caused by: " + std::string(error_code_name(c->code())) + ": " +
+           c->message() + ")";
+  return out;
+}
+
+std::size_t backoff_delay_ms(const RetryOptions& options,
+                             std::size_t retry_index) {
+  double delay = static_cast<double>(options.base_backoff_ms);
+  for (std::size_t i = 0; i < retry_index; ++i)
+    delay *= options.backoff_multiplier;
+  if (!(delay >= 0.0)) return 0;
+  return static_cast<std::size_t>(delay);
+}
+
+namespace detail {
+void default_backoff_sleep(std::size_t delay_ms) {
+  if (delay_ms == 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+}
+}  // namespace detail
+
+}  // namespace vmap

@@ -1,0 +1,187 @@
+#pragma once
+// Structured error taxonomy for the pipeline runtime.
+//
+// The methodology is a chain of numerical stages (transient PDN simulation,
+// group-lasso solves, Cholesky/QR refits) plus disk I/O (dataset cache,
+// trace CSVs). A production run must be able to distinguish *why* a stage
+// failed — numerical breakdown, I/O error, corrupted persisted state,
+// exhausted time budget — and react (retry, fall back, recollect) instead
+// of aborting. Status/StatusOr carry that taxonomy across public
+// boundaries; ContractError (util/assert.hpp) remains reserved for caller
+// bugs (precondition violations), which are not recoverable conditions.
+//
+// Status supports cause chaining: a high-level failure ("dataset cache
+// unusable") can wrap the low-level trigger ("section checksum mismatch"),
+// and to_string() renders the whole chain for logs.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace vmap {
+
+/// Failure classes the pipeline runtime distinguishes.
+enum class ErrorCode {
+  kOk = 0,
+  kNumerical,       ///< NaN/Inf, divergence, loss of positive definiteness
+  kNotConverged,    ///< iteration budget exhausted before tolerance was met
+  kIo,              ///< file open/read/write/rename failure
+  kCorruption,      ///< persisted data failed integrity checks
+  kTimeout,         ///< bounded-time operation exceeded its budget
+  kInvalidArgument, ///< malformed input caught at a recoverable boundary
+};
+
+/// Stable lower-case name of a code ("numerical", "io", ...).
+const char* error_code_name(ErrorCode code);
+
+/// Success-or-diagnosed-failure value. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Numerical(std::string msg) {
+    return Status(ErrorCode::kNumerical, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(ErrorCode::kNotConverged, std::move(msg));
+  }
+  static Status Io(std::string msg) {
+    return Status(ErrorCode::kIo, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(ErrorCode::kCorruption, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(ErrorCode::kTimeout, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(ErrorCode::kInvalidArgument, std::move(msg));
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Attaches `cause` one level down the chain; returns *this for chaining.
+  Status& with_cause(Status cause) {
+    cause_ = std::make_shared<const Status>(std::move(cause));
+    return *this;
+  }
+  /// Innermost-next link of the chain, or nullptr.
+  const Status* cause() const { return cause_.get(); }
+
+  /// "numerical: CG diverged (caused by: io: short read)" — whole chain.
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+  std::shared_ptr<const Status> cause_;
+};
+
+/// Thrown by StatusOr::value() on an error-holding object, and by the
+/// legacy throwing wrappers around status-returning entry points.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(const Status& status)
+      : std::runtime_error(status.to_string()), status_(status) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Either a value of type T or the Status explaining its absence.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok())
+      status_ = Status(ErrorCode::kInvalidArgument,
+                       "StatusOr constructed from an OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    ensure_ok();
+    return *value_;
+  }
+  const T& value() const& {
+    ensure_ok();
+    return *value_;
+  }
+  T&& value() && {
+    ensure_ok();
+    return std::move(*value_);
+  }
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void ensure_ok() const {
+    if (!ok()) throw StatusError(status_);
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+// --- Bounded retry with deterministic backoff ----------------------------
+
+struct RetryOptions {
+  std::size_t max_attempts = 3;    ///< total attempts (>= 1)
+  std::size_t base_backoff_ms = 0; ///< delay before the first retry
+  double backoff_multiplier = 2.0; ///< geometric growth per retry
+  /// Invoked between attempts with (attempt_index, delay_ms); defaults to
+  /// sleeping for delay_ms. Tests inject a recorder to keep runs instant
+  /// and to assert the deterministic backoff schedule.
+  std::function<void(std::size_t, std::size_t)> on_backoff;
+};
+
+/// Deterministic backoff before retry `retry_index` (0-based):
+/// base * multiplier^retry_index, rounded down.
+std::size_t backoff_delay_ms(const RetryOptions& options,
+                             std::size_t retry_index);
+
+namespace detail {
+void default_backoff_sleep(std::size_t delay_ms);
+}  // namespace detail
+
+/// Runs `fn` (returning Status or StatusOr<T>) up to max_attempts times,
+/// backing off deterministically between attempts. Returns the first OK
+/// result, or the last failure once attempts are exhausted.
+template <typename Fn>
+auto retry_with_backoff(const RetryOptions& options, Fn&& fn)
+    -> decltype(fn()) {
+  const std::size_t attempts = options.max_attempts == 0
+                                   ? std::size_t{1}
+                                   : options.max_attempts;
+  auto result = fn();
+  for (std::size_t attempt = 1; attempt < attempts && !result.ok();
+       ++attempt) {
+    const std::size_t delay = backoff_delay_ms(options, attempt - 1);
+    if (options.on_backoff)
+      options.on_backoff(attempt, delay);
+    else
+      detail::default_backoff_sleep(delay);
+    result = fn();
+  }
+  return result;
+}
+
+}  // namespace vmap

@@ -95,6 +95,30 @@ PowerTrace PowerTrace::load_csv(const std::string& path) {
   return trace;
 }
 
+Status PowerTrace::try_save_csv(const std::string& path) const {
+  try {
+    save_csv(path);
+    return Status::Ok();
+  } catch (const std::exception& e) {
+    return Status::Io(e.what());
+  }
+}
+
+StatusOr<PowerTrace> PowerTrace::try_load_csv(const std::string& path) {
+  // Wraps (rather than replaces) load_csv: the throwing contract is part
+  // of the public API and tests pin its exception types. Classification:
+  // a file that cannot be opened is an I/O failure; a file that opened but
+  // failed validation holds corrupt/foreign content.
+  std::ifstream probe(path);
+  if (!probe) return Status::Io("cannot read trace csv: " + path);
+  probe.close();
+  try {
+    return load_csv(path);
+  } catch (const std::exception& e) {
+    return Status::Corruption(e.what());
+  }
+}
+
 TracePlayer::TracePlayer(const PowerTrace& trace, bool loop)
     : trace_(trace), loop_(loop), current_(trace.blocks()) {
   VMAP_REQUIRE(!trace.empty(), "cannot play an empty trace");

@@ -1,0 +1,178 @@
+// Error-taxonomy tests: Status/StatusOr semantics, cause chaining, and the
+// deterministic bounded-retry helper.
+
+#include "util/status.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vmap {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.cause(), nullptr);
+}
+
+TEST(Status, StaticConstructorsCarryCodeAndMessage) {
+  const std::vector<std::pair<Status, ErrorCode>> cases = {
+      {Status::Numerical("a"), ErrorCode::kNumerical},
+      {Status::NotConverged("b"), ErrorCode::kNotConverged},
+      {Status::Io("c"), ErrorCode::kIo},
+      {Status::Corruption("d"), ErrorCode::kCorruption},
+      {Status::Timeout("e"), ErrorCode::kTimeout},
+      {Status::InvalidArgument("f"), ErrorCode::kInvalidArgument},
+  };
+  for (const auto& [status, code] : cases) {
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), code);
+    EXPECT_FALSE(status.message().empty());
+  }
+}
+
+TEST(Status, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNumerical), "numerical");
+  EXPECT_STREQ(error_code_name(ErrorCode::kIo), "io");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCorruption), "corruption");
+  EXPECT_STREQ(error_code_name(ErrorCode::kTimeout), "timeout");
+}
+
+TEST(Status, CauseChainRendersInToString) {
+  Status outer = Status::Numerical("CG diverged");
+  outer.with_cause(Status::Io("short read"));
+  ASSERT_NE(outer.cause(), nullptr);
+  EXPECT_EQ(outer.cause()->code(), ErrorCode::kIo);
+  const std::string rendered = outer.to_string();
+  EXPECT_NE(rendered.find("numerical"), std::string::npos);
+  EXPECT_NE(rendered.find("CG diverged"), std::string::npos);
+  EXPECT_NE(rendered.find("short read"), std::string::npos);
+  // The outer failure must come before its cause.
+  EXPECT_LT(rendered.find("CG diverged"), rendered.find("short read"));
+}
+
+TEST(Status, CauseChainSupportsMultipleLevels) {
+  Status inner = Status::Corruption("checksum mismatch");
+  inner.with_cause(Status::Io("truncated file"));
+  Status outer = Status::InvalidArgument("dataset cache unusable");
+  outer.with_cause(inner);
+  ASSERT_NE(outer.cause(), nullptr);
+  ASSERT_NE(outer.cause()->cause(), nullptr);
+  EXPECT_EQ(outer.cause()->cause()->code(), ErrorCode::kIo);
+  EXPECT_NE(outer.to_string().find("truncated file"), std::string::npos);
+}
+
+TEST(StatusOr, HoldsValueOnSuccess) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(-1), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOr, PropagatesFailure) {
+  StatusOr<int> result(Status::Timeout("budget exhausted"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+  EXPECT_EQ(result.value_or(-1), -1);
+  EXPECT_THROW(result.value(), StatusError);
+  try {
+    result.value();
+    FAIL() << "value() must throw on an error-holding StatusOr";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), ErrorCode::kTimeout);
+    EXPECT_NE(std::string(e.what()).find("budget exhausted"),
+              std::string::npos);
+  }
+}
+
+TEST(StatusOr, RejectsOkStatusConstruction) {
+  // An OK status carries no value, so it cannot represent a StatusOr.
+  StatusOr<int> result(Status::Ok());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Retry, BackoffScheduleIsDeterministic) {
+  RetryOptions options;
+  options.base_backoff_ms = 10;
+  options.backoff_multiplier = 2.0;
+  EXPECT_EQ(backoff_delay_ms(options, 0), 10u);
+  EXPECT_EQ(backoff_delay_ms(options, 1), 20u);
+  EXPECT_EQ(backoff_delay_ms(options, 2), 40u);
+  options.backoff_multiplier = 1.0;
+  EXPECT_EQ(backoff_delay_ms(options, 5), 10u);
+}
+
+TEST(Retry, StopsOnFirstSuccess) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.base_backoff_ms = 7;
+  std::vector<std::pair<std::size_t, std::size_t>> backoffs;
+  options.on_backoff = [&](std::size_t attempt, std::size_t delay) {
+    backoffs.emplace_back(attempt, delay);
+  };
+  int calls = 0;
+  const Status result = retry_with_backoff(options, [&]() -> Status {
+    ++calls;
+    return calls < 3 ? Status::Io("transient") : Status::Ok();
+  });
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(calls, 3);
+  // Two retries happened, with the geometric schedule 7, 14.
+  ASSERT_EQ(backoffs.size(), 2u);
+  EXPECT_EQ(backoffs[0], (std::pair<std::size_t, std::size_t>{1, 7}));
+  EXPECT_EQ(backoffs[1], (std::pair<std::size_t, std::size_t>{2, 14}));
+}
+
+TEST(Retry, ReturnsLastFailureWhenExhausted) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.on_backoff = [](std::size_t, std::size_t) {};
+  int calls = 0;
+  const Status result = retry_with_backoff(options, [&]() -> Status {
+    ++calls;
+    return Status::Io("attempt " + std::to_string(calls));
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.message(), "attempt 3");
+}
+
+TEST(Retry, ZeroAttemptsMeansOne) {
+  RetryOptions options;
+  options.max_attempts = 0;
+  options.on_backoff = [](std::size_t, std::size_t) {};
+  int calls = 0;
+  const Status result = retry_with_backoff(options, [&]() -> Status {
+    ++calls;
+    return Status::Numerical("always fails");
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Retry, WorksWithStatusOr) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.on_backoff = [](std::size_t, std::size_t) {};
+  int calls = 0;
+  const StatusOr<int> result =
+      retry_with_backoff(options, [&]() -> StatusOr<int> {
+        ++calls;
+        if (calls < 2) return Status::Timeout("not yet");
+        return calls * 10;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 20);
+}
+
+}  // namespace
+}  // namespace vmap

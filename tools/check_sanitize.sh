@@ -7,6 +7,11 @@
 #   tools/check_sanitize.sh tsan [build-dir]     (default dir build-tsan):
 #       ThreadSanitizer over the thread-pool and dataset-collection tests —
 #       the parts that exercise the parallel execution layer.
+#   tools/check_sanitize.sh resilience [build-dir]  (default dir
+#       build-sanitize): ASan+UBSan over just the error-taxonomy and
+#       resilience tests — the fast gate for changes to the fallback
+#       ladders, cache integrity checks, or Status plumbing. (The default
+#       asan mode also covers these as part of the full suite.)
 #
 # Any sanitizer report fails the run (halt_on_error / abort flags).
 set -euo pipefail
@@ -14,7 +19,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="asan"
-if [[ $# -ge 1 && ( "$1" == "asan" || "$1" == "tsan" ) ]]; then
+if [[ $# -ge 1 && ( "$1" == "asan" || "$1" == "tsan" || "$1" == "resilience" ) ]]; then
   MODE="$1"
   shift
 fi
@@ -31,6 +36,17 @@ if [[ "$MODE" == "tsan" ]]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
     -R 'parallel_test|dataset_pipeline_test'
   echo "thread-sanitize check passed (${BUILD_DIR})"
+elif [[ "$MODE" == "resilience" ]]; then
+  BUILD_DIR="${1:-build-sanitize}"
+  cmake -B "$BUILD_DIR" -S . -DVMAP_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_DIR" -j"$(nproc)" \
+    --target status_test resilience_test
+  export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'status_test|resilience_test'
+  echo "resilience sanitize check passed (${BUILD_DIR})"
 else
   BUILD_DIR="${1:-build-sanitize}"
   cmake -B "$BUILD_DIR" -S . -DVMAP_SANITIZE=address,undefined \

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Deterministically damage a vmap_dataset.cache for kill-resilience demos.
+#
+#   tools/corrupt_cache.sh flip <cache> [offset]   XOR one byte with 0x5A
+#       (default offset: the middle of the file) — lands inside a payload
+#       section, so the per-section checksum must flag it.
+#   tools/corrupt_cache.sh truncate <cache> [frac] Truncate to `frac` of the
+#       original size (default 2/3) — simulates a run killed mid-write of a
+#       pre-v7 cache or a torn copy.
+#   tools/corrupt_cache.sh append <cache>          Append trailing garbage —
+#       must be rejected, not silently ignored.
+#
+# After damaging, any bench's load_or_collect detects the corruption,
+# recollects, and rewrites the cache (watch for the [recollect] event in the
+# resilience summary). bench/robustness_noise --inject runs the same
+# scenarios end-to-end with pass/fail scoring.
+set -euo pipefail
+
+usage() {
+  sed -n '2,15p' "$0" >&2
+  exit 2
+}
+
+[[ $# -ge 2 ]] || usage
+MODE="$1"
+CACHE="$2"
+[[ -f "$CACHE" ]] || { echo "no such cache: $CACHE" >&2; exit 1; }
+SIZE=$(wc -c < "$CACHE")
+
+case "$MODE" in
+  flip)
+    OFFSET="${3:-$((SIZE / 2))}"
+    [[ "$OFFSET" -lt "$SIZE" ]] || { echo "offset past EOF" >&2; exit 1; }
+    BYTE=$(od -An -tu1 -j "$OFFSET" -N 1 "$CACHE" | tr -d ' ')
+    FLIPPED=$((BYTE ^ 0x5A))
+    printf "$(printf '\\%03o' "$FLIPPED")" |
+      dd of="$CACHE" bs=1 seek="$OFFSET" count=1 conv=notrunc status=none
+    echo "flipped byte at offset $OFFSET ($BYTE -> $FLIPPED) in $CACHE"
+    ;;
+  truncate)
+    FRAC="${3:-2/3}"
+    NEW=$((SIZE * ${FRAC%%/*} / ${FRAC##*/}))
+    truncate -s "$NEW" "$CACHE"
+    echo "truncated $CACHE from $SIZE to $NEW bytes"
+    ;;
+  append)
+    printf 'trailing garbage' >> "$CACHE"
+    echo "appended 16 garbage bytes to $CACHE"
+    ;;
+  *)
+    usage
+    ;;
+esac
