@@ -9,6 +9,7 @@
 //  D. BCD vs FISTA on the same per-core problem — support agreement,
 //     objective gap, runtime.
 
+#include <cctype>
 #include <cstdio>
 #include <iostream>
 
@@ -26,8 +27,15 @@ namespace {
 
 using namespace vmap;
 
+std::string scalar_key(std::string name) {
+  for (char& c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return name;
+}
+
 void placement_ablation(const benchutil::Platform& platform,
-                        std::size_t sensors_per_core) {
+                        std::size_t sensors_per_core,
+                        benchutil::RunReport& report) {
   const auto& data = platform.data;
   const std::size_t total =
       sensors_per_core * platform.floorplan->core_count();
@@ -40,6 +48,9 @@ void placement_ablation(const benchutil::Platform& platform,
   auto add = [&](const std::string& name,
                  const std::vector<std::size_t>& rows) {
     const auto eval = core::evaluate_placement_with_ols(data, rows);
+    report.scalar("rel_err." + scalar_key(name), eval.relative_error);
+    report.scalar("te." + scalar_key(name),
+                  eval.detection.total_error_rate());
     table.add_row({name, TablePrinter::fmt(100.0 * eval.relative_error, 3),
                    TablePrinter::fmt(1e3 * eval.rmse_volts, 2),
                    TablePrinter::fmt(eval.detection.miss_rate(), 4),
@@ -75,7 +86,8 @@ void placement_ablation(const benchutil::Platform& platform,
   table.print(std::cout);
 }
 
-void refit_ablation(const benchutil::Platform& platform) {
+void refit_ablation(const benchutil::Platform& platform,
+                    benchutil::RunReport& report) {
   const auto& data = platform.data;
   std::printf("\n== B. OLS refit vs raw GL coefficients (§2.3) ==\n");
   TablePrinter table({"lambda", "#sensors", "refit rel err(%)",
@@ -91,6 +103,9 @@ void refit_ablation(const benchutil::Platform& platform) {
         core::relative_error(data.f_test, refit.predict(data.x_test));
     const double e_raw =
         core::relative_error(data.f_test, raw.predict(data.x_test));
+    const std::string tag = "@" + TablePrinter::fmt(paper_lambda, 0);
+    report.scalar("refit_rel_err" + tag, e_refit);
+    report.scalar("raw_rel_err" + tag, e_raw);
     table.add_row({TablePrinter::fmt(paper_lambda, 0),
                    TablePrinter::fmt(refit.sensor_rows().size()),
                    TablePrinter::fmt(100.0 * e_refit, 3),
@@ -103,7 +118,8 @@ void refit_ablation(const benchutil::Platform& platform) {
               "refit)\n");
 }
 
-void decomposition_ablation(const benchutil::Platform& platform) {
+void decomposition_ablation(const benchutil::Platform& platform,
+                            benchutil::RunReport& report) {
   const auto& data = platform.data;
   std::printf("\n== C. per-core vs whole-chip group lasso ==\n");
   TablePrinter table({"mode", "lambda", "#sensors", "rel error(%)",
@@ -121,6 +137,11 @@ void decomposition_ablation(const benchutil::Platform& platform) {
     const double seconds = timer.seconds();
     const double err =
         core::relative_error(data.f_test, model.predict(data.x_test));
+    const std::string mode = per_core ? "per_core" : "whole_chip";
+    report.scalar("sensors." + mode,
+                  static_cast<double>(model.sensor_rows().size()));
+    report.scalar("rel_err." + mode, err);
+    report.timing("fit." + mode, 1e3 * seconds);
     table.add_row({per_core ? "per-core (8 problems)" : "whole-chip (1 problem)",
                    TablePrinter::fmt(config.lambda, 1),
                    TablePrinter::fmt(model.sensor_rows().size()),
@@ -130,7 +151,8 @@ void decomposition_ablation(const benchutil::Platform& platform) {
   table.print(std::cout);
 }
 
-void solver_ablation(const benchutil::Platform& platform) {
+void solver_ablation(const benchutil::Platform& platform,
+                     benchutil::RunReport& report) {
   const auto& data = platform.data;
   std::printf("\n== D. BCD vs FISTA on core 0's GL problem ==\n");
 
@@ -159,6 +181,13 @@ void solver_ablation(const benchutil::Platform& platform) {
       // A numerical breakdown makes the whole comparison meaningless;
       // non-convergence only makes one row inexact, so flag it in place.
       if (!result.status.ok()) throw StatusError(result.status);
+      const std::string tag =
+          std::string(solver == core::GlSolver::kBcd ? "bcd" : "fista") +
+          "@" + TablePrinter::fmt(fraction, 2);
+      report.scalar("objective." + tag, result.objective);
+      report.scalar("active." + tag,
+                    static_cast<double>(result.active_groups(1e-3).size()));
+      report.timing("solve." + tag, ms);
       table.add_row({solver == core::GlSolver::kBcd ? "BCD" : "FISTA",
                      TablePrinter::fmt(fraction, 2),
                      TablePrinter::fmt(result.iterations),
@@ -182,11 +211,15 @@ int main(int argc, char** argv) {
   try {
     if (!args.parse(argc, argv)) return 0;
     const auto platform = benchutil::load_platform(args);
+    benchutil::RunReport report("ablation_suite");
+    report.timing("platform_load", platform.load_ms);
     placement_ablation(platform,
-                       static_cast<std::size_t>(args.get_int("sensors")));
-    refit_ablation(platform);
-    decomposition_ablation(platform);
-    solver_ablation(platform);
+                       static_cast<std::size_t>(args.get_int("sensors")),
+                       report);
+    refit_ablation(platform, report);
+    decomposition_ablation(platform, report);
+    solver_ablation(platform, report);
+    benchutil::write_report(args, &platform, report);
     benchutil::print_resilience(platform);
     return 0;
   } catch (const std::exception& e) {

@@ -1,8 +1,15 @@
 #include "common.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace vmap::benchutil {
 
@@ -30,6 +37,10 @@ void add_common_flags(CliArgs& args) {
   args.add_flag("pad-inductance", "0",
                 "package inductance per pad in henries, e.g. 5e-10 "
                 "(changes the platform; dataset re-collects)");
+  args.add_flag("report", "",
+                "write a machine-readable run report (JSON) to this path: "
+                "key result scalars, timings, metrics snapshot, resilience "
+                "report");
 }
 
 Platform load_platform(const CliArgs& args) {
@@ -62,6 +73,7 @@ Platform load_platform(const CliArgs& args) {
       core::load_or_collect(args.get("cache"), *platform.grid,
                             *platform.floorplan, platform.setup.data,
                             platform.suite, platform.report.get());
+  platform.load_ms = timer.millis();
   std::fprintf(stderr,
                "[platform] M=%zu candidates, K=%zu blocks, N_train=%zu, "
                "N_test=%zu (%.1f s)\n",
@@ -84,6 +96,136 @@ void print_resilience(const Platform& platform) {
 
 double scaled_lambda(const CliArgs& args, double paper_lambda) {
   return paper_lambda * args.get_double("lambda-scale");
+}
+
+namespace {
+
+void json_escape_into(std::string& out, const std::string& in) {
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Full-precision double literal: %.17g round-trips IEEE doubles exactly,
+/// which is what lets perf_gate.py hold correctness scalars byte-identical.
+std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_pairs(std::string& json,
+                  const std::vector<std::pair<std::string, double>>& pairs) {
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (i) json += ",";
+    json += "\"";
+    json_escape_into(json, pairs[i].first);
+    json += "\":" + json_number(pairs[i].second);
+  }
+}
+
+}  // namespace
+
+double calibration_ms() {
+  // A serially dependent FMA chain: fixed work, one thread, no memory
+  // traffic — proportional to single-core speed on any machine. The
+  // volatile sink keeps the loop alive under -O2.
+  double best = 0.0;
+  for (int run = 0; run < 3; ++run) {
+    Timer t;
+    double acc = 1.0;
+    for (int i = 0; i < 20000000; ++i) acc = acc * 1.0000000001 + 1e-12;
+    volatile double sink = acc;
+    (void)sink;
+    const double ms = t.millis();
+    if (run == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void write_report(const CliArgs& args, const Platform* platform,
+                  const RunReport& report) {
+  const std::string path = args.get("report");
+  if (path.empty()) return;
+
+  std::string json = "{\n";
+  json += "  \"schema\": 1,\n";
+  json += "  \"bench\": \"";
+  json_escape_into(json, report.bench);
+  json += "\",\n";
+  if (platform) {
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "0x%016llx",
+                  static_cast<unsigned long long>(platform->data.platform));
+    json += "  \"platform_hash\": \"" + std::string(hash) + "\",\n";
+    json += "  \"seed\": " +
+            std::to_string(platform->setup.data.seed) + ",\n";
+  }
+  json += "  \"threads\": " + std::to_string(thread_count()) + ",\n";
+  json += "  \"calibration_ms\": " + json_number(calibration_ms()) + ",\n";
+
+  json += "  \"scalars\": {";
+  append_pairs(json, report.scalars);
+  json += "},\n";
+
+  json += "  \"timings_ms\": {";
+  append_pairs(json, report.timings_ms);
+  json += "},\n";
+
+  // Resilience: the counters the gate watches plus the full event list so
+  // a degraded run is diagnosable from the artifact alone.
+  json += "  \"resilience\": {";
+  if (platform && platform->report) {
+    const ResilienceReport& r = *platform->report;
+    json += "\"clean\": " + std::string(r.clean() ? "true" : "false");
+    json += ", \"retries\": " + std::to_string(r.retries());
+    json += ", \"fallbacks\": " + std::to_string(r.fallbacks());
+    json += ", \"recollects\": " + std::to_string(r.recollects());
+    json += ", \"events\": [";
+    const auto events = r.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (i) json += ",";
+      json += "{\"stage\": \"";
+      json_escape_into(json, events[i].stage);
+      json += "\", \"action\": \"";
+      json += resilience_action_name(events[i].action);
+      json += "\", \"detail\": \"";
+      json_escape_into(json, events[i].detail);
+      json += "\"}";
+    }
+    json += "]";
+  } else {
+    json += "\"clean\": true, \"retries\": 0, \"fallbacks\": 0, "
+            "\"recollects\": 0, \"events\": []";
+  }
+  json += "},\n";
+
+  json += "  \"metrics\": " + metrics::snapshot_json() + ",\n";
+
+  const char* trace_env = std::getenv("VMAP_TRACE");
+  json += "  \"trace\": \"";
+  json_escape_into(json, trace_env ? trace_env : "");
+  json += "\"\n}\n";
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write run report: " + path);
+  out << json;
+  out.flush();
+  if (!out) throw std::runtime_error("run report write failed: " + path);
+  std::fprintf(stderr, "[report] wrote %s\n", path.c_str());
 }
 
 }  // namespace vmap::benchutil

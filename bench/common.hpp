@@ -29,12 +29,46 @@ struct Platform {
   std::unique_ptr<chip::Floorplan> floorplan;
   std::vector<workload::BenchmarkProfile> suite;
   core::Dataset data;
+  /// Wall time of load_or_collect (cache load or full collection).
+  double load_ms = 0.0;
   /// Accumulates every guardrail action taken during platform construction
   /// and any fit the bench threads it into (heap-held: the report owns a
   /// mutex, and Platform is returned by value).
   std::unique_ptr<ResilienceReport> report =
       std::make_unique<ResilienceReport>();
 };
+
+/// Machine-readable outcome of one bench run, written as JSON by
+/// write_report() when --report names a file. Scalars are the bench's key
+/// correctness results (TE, rel-err, sensor counts, ...) and are gated
+/// byte-identically by tools/perf_gate.py; timings are wall-clock and
+/// gated with a relative tolerance after calibration normalization.
+struct RunReport {
+  explicit RunReport(std::string bench_name) : bench(std::move(bench_name)) {}
+  std::string bench;
+  std::vector<std::pair<std::string, double>> scalars;
+  std::vector<std::pair<std::string, double>> timings_ms;
+
+  void scalar(const std::string& name, double value) {
+    scalars.emplace_back(name, value);
+  }
+  void timing(const std::string& name, double ms) {
+    timings_ms.emplace_back(name, ms);
+  }
+};
+
+/// Fixed single-threaded arithmetic workload, in milliseconds (min of
+/// three runs). Reports carry it so perf gates can compare wall times
+/// across machines of different speed: gate on wall/calibration, not raw
+/// wall.
+double calibration_ms();
+
+/// Writes the run report named by --report (no-op when the flag is
+/// empty/absent): schema version, bench name, platform hash + seed +
+/// thread count (when `platform` is non-null), calibration timing, the
+/// scalars/timings, the full metrics snapshot, and the resilience report.
+void write_report(const CliArgs& args, const Platform* platform,
+                  const RunReport& report);
 
 /// Registers the flags shared by all experiment benches.
 void add_common_flags(CliArgs& args);

@@ -39,6 +39,12 @@ int main(int argc, char** argv) {
     std::printf("BA-only candidates: %zu; BA+FA candidates: %zu\n\n",
                 platform.data.num_candidates(), fa_data.num_candidates());
 
+    benchutil::RunReport report("fa_sensors");
+    report.scalar("ba_candidates",
+                  static_cast<double>(platform.data.num_candidates()));
+    report.scalar("ba_fa_candidates",
+                  static_cast<double>(fa_data.num_candidates()));
+    report.timing("platform_load", platform.load_ms);
     TablePrinter table({"sensors/core", "BA rel err(%)", "BA TE",
                         "BA+FA rel err(%)", "BA+FA TE", "#FA picked"});
     for (std::size_t per_core : {2, 4, 7}) {
@@ -62,6 +68,14 @@ int main(int argc, char** argv) {
       for (std::size_t node : fa_model.sensor_nodes())
         if (platform.floorplan->is_fa_node(node)) ++fa_picked;
 
+      const std::string tag = "@" + std::to_string(per_core);
+      report.scalar("ba_rel_err" + tag,
+                    core::relative_error(platform.data.f_test, ba_pred));
+      report.scalar("ba_te" + tag, ba_rates.total_error_rate());
+      report.scalar("fa_rel_err" + tag,
+                    core::relative_error(fa_data.f_test, fa_pred));
+      report.scalar("fa_te" + tag, fa_rates.total_error_rate());
+      report.scalar("fa_picked" + tag, static_cast<double>(fa_picked));
       table.add_row(
           {TablePrinter::fmt(per_core),
            TablePrinter::fmt(
@@ -79,6 +93,8 @@ int main(int argc, char** argv) {
                 "large enough for per-block coverage — at tight budgets a "
                 "BA channel node that aggregates several neighbouring "
                 "blocks can be the stronger regressor)\n");
+    benchutil::write_report(args, &platform, report);
+    benchutil::print_resilience(platform);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -209,9 +209,13 @@ int main(int argc, char** argv) {
     std::printf("== fault tolerance: %zu sensors, victim sensor %zu, fault "
                 "onset at sample %zu of %zu ==\n",
                 q, victim, onset, x_test.cols());
+    benchutil::RunReport run_report("fault_tolerance");
+    run_report.scalar("sensors_placed", static_cast<double>(q));
+    run_report.timing("platform_load", platform.load_ms);
     TablePrinter table({"fault", "detect", "ME", "WAE", "TE",
                         "degraded smp", "episodes", "latency"});
     double te_dead_off = -1.0, te_dead_on = -1.0;
+    std::size_t scenario_index = 0;
     for (const auto& scenario : scenarios) {
       const StreamResult off =
           run_plain(model, x_test, data.f_test, scenario.faults, vth);
@@ -222,6 +226,9 @@ int main(int argc, char** argv) {
         te_dead_off = off.rates.total_error_rate();
         te_dead_on = on.rates.total_error_rate();
       }
+      const std::string tag = "@" + std::to_string(scenario_index++);
+      run_report.scalar("te_off" + tag, off.rates.total_error_rate());
+      run_report.scalar("te_on" + tag, on.rates.total_error_rate());
       table.add_row({scenario.name, "off",
                      TablePrinter::fmt(off.rates.miss_rate(), 4),
                      TablePrinter::fmt(off.rates.wrong_alarm_rate(), 4),
@@ -251,6 +258,10 @@ int main(int argc, char** argv) {
                    te_dead_on, te_dead_off);
       return 1;
     }
+    run_report.scalar("te_dead_off", te_dead_off);
+    run_report.scalar("te_dead_on", te_dead_on);
+    benchutil::write_report(args, &platform, run_report);
+    benchutil::print_resilience(platform);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

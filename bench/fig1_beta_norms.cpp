@@ -86,6 +86,8 @@ int main(int argc, char** argv) {
     std::printf("== Fig. 1: ||beta_m||_2 for sensor candidates in core %zu "
                 "==\n",
                 core_index);
+    benchutil::RunReport report("fig1_beta_norms");
+    report.timing("platform_load", platform.load_ms);
     for (const char* flag : {"lambda1", "lambda2"}) {
       const double paper_lambda = args.get_double(flag);
       const double budget = benchutil::scaled_lambda(args, paper_lambda);
@@ -106,6 +108,11 @@ int main(int argc, char** argv) {
         else
           max_rejected = std::max(max_rejected, gl.group_norms[m]);
       }
+      report.scalar(std::string(flag) + "_selected",
+                    static_cast<double>(selection.count()));
+      report.scalar(std::string(flag) + "_min_selected_norm",
+                    selection.count() > 0 ? min_selected : 0.0);
+      report.scalar(std::string(flag) + "_max_rejected_norm", max_rejected);
       if (selection.count() > 0) {
         std::printf("  smallest selected ||beta||: %.3e\n", min_selected);
         if (max_rejected > 0.0) {
@@ -138,6 +145,7 @@ int main(int argc, char** argv) {
       }
       top.print(std::cout);
     }
+    benchutil::write_report(args, &platform, report);
     benchutil::print_resilience(platform);
     return 0;
   } catch (const std::exception& e) {

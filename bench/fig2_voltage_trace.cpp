@@ -133,6 +133,20 @@ int main(int argc, char** argv) {
                                         pred_many(block, s)});
       std::printf("\nwrote %s\n", csv.path().c_str());
     }
+
+    benchutil::RunReport report("fig2_voltage_trace");
+    report.scalar("trace_block", static_cast<double>(block));
+    report.scalar("mean_abs_err_few_v", mean2);
+    report.scalar("max_abs_err_few_v", max2);
+    report.scalar("mean_abs_err_many_v", mean7);
+    report.scalar("max_abs_err_many_v", max7);
+    report.scalar("sensors_few",
+                  static_cast<double>(model_few.sensor_rows().size()));
+    report.scalar("sensors_many",
+                  static_cast<double>(model_many.sensor_rows().size()));
+    report.timing("platform_load", platform.load_ms);
+    benchutil::write_report(args, &platform, report);
+    benchutil::print_resilience(platform);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -131,6 +131,17 @@ int main(int argc, char** argv) {
 
     std::printf("\n(paper: Eagle-Eye clusters ~6/7 sensors at the EXE unit; "
                 "the proposed approach spreads sensors across units)\n");
+
+    benchutil::RunReport report("fig3_placement_map");
+    report.scalar("eagle_sensors_in_core",
+                  static_cast<double>(eagle_nodes.size()));
+    report.scalar("proposed_sensors_in_core",
+                  static_cast<double>(proposed_nodes.size()));
+    report.scalar("proposed_sensors_total",
+                  static_cast<double>(model.sensor_rows().size()));
+    report.timing("platform_load", platform.load_ms);
+    benchutil::write_report(args, &platform, report);
+    benchutil::print_resilience(platform);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -98,6 +98,18 @@ int main(int argc, char** argv) {
     std::printf("\n(paper: proposed ME/TE below Eagle-Eye across the sweep; "
                 "WAE advantage flips to the proposed side at larger sensor "
                 "counts)\n");
+
+    benchutil::RunReport report("fig4_sensor_sweep");
+    report.timing("platform_load", platform.load_ms);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const std::string tag = "@" + std::to_string(counts[i]);
+      report.scalar("total_sensors" + tag,
+                    static_cast<double>(points[i].total_sensors));
+      report.scalar("ee_te" + tag, points[i].eagle.total_error_rate());
+      report.scalar("our_te" + tag, points[i].ours.total_error_rate());
+    }
+    benchutil::write_report(args, &platform, report);
+    benchutil::print_resilience(platform);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -80,31 +80,39 @@ int main(int argc, char** argv) {
     TablePrinter table({"PDN model", "#sensors", "rel error(%)", "P(emerg)",
                         "det TE"});
 
-    auto add = [&](const char* name, const grid::GridConfig& gc,
-                   const std::string& cache) {
+    benchutil::RunReport report("pdn_variants");
+    auto add = [&](const char* name, const char* key,
+                   const grid::GridConfig& gc, const std::string& cache) {
       const auto r = run_variant(gc, setup.floorplan, setup.data, suite,
                                  cache, lambda);
+      report.scalar(std::string("sensors.") + key,
+                    static_cast<double>(r.sensors));
+      report.scalar(std::string("rel_err.") + key, r.rel_error);
+      report.scalar(std::string("te.") + key, r.te);
       table.add_row({name, TablePrinter::fmt(r.sensors),
                      TablePrinter::fmt(100.0 * r.rel_error, 3),
                      TablePrinter::fmt(r.base_rate, 2),
                      TablePrinter::fmt(r.te, 4)});
     };
 
-    add("single-layer RC (baseline)", setup.grid, args.get("cache"));
+    add("single-layer RC (baseline)", "baseline", setup.grid,
+        args.get("cache"));
 
     grid::GridConfig layered = setup.grid;
     layered.two_layer = true;
-    add("two-layer (top metal + vias)", layered, "vmap_dataset_2layer.cache");
+    add("two-layer (top metal + vias)", "two_layer", layered,
+        "vmap_dataset_2layer.cache");
 
     grid::GridConfig inductive = setup.grid;
     inductive.pad_inductance = 5e-10;
-    add("inductive pads (L = 0.5 nH)", inductive,
+    add("inductive pads (L = 0.5 nH)", "inductive", inductive,
         "vmap_dataset_rlpads.cache");
 
     table.print(std::cout);
     std::printf("\n(the placement/prediction methodology should hold its "
                 "accuracy across PDN models — only the droop dynamics "
                 "change)\n");
+    benchutil::write_report(args, nullptr, report);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "chip/floorplan.hpp"
+#include "common.hpp"
 #include "core/dataset.hpp"
 #include "core/experiment.hpp"
 #include "core/pipeline.hpp"
@@ -120,6 +121,9 @@ int main(int argc, char** argv) {
   args.add_flag("threads-list", "",
                 "comma-separated thread counts (default: 1,2,<hardware>)");
   args.add_flag("out", "BENCH_perf.json", "output JSON path");
+  args.add_flag("report", "",
+                "write a machine-readable run report (JSON) to this path: "
+                "per-op timings, bit-identity flag, metrics snapshot");
   args.add_bool("full", false,
                 "canonical full-size collection (default: reduced maps for "
                 "a fast regression run)");
@@ -259,6 +263,16 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     write_json(args.get("out"), results);
     std::printf("\nwrote %s\n", args.get("out").c_str());
+
+    // Run report: every op@threads wall time (gated with the calibration-
+    // normalized tolerance) plus bit_identity, which must stay exactly 1.
+    benchutil::RunReport report("perf_suite");
+    report.scalar("bit_identity", identical ? 1.0 : 0.0);
+    report.scalar("thread_counts", static_cast<double>(thread_list.size()));
+    for (const auto& m : results)
+      report.timing(m.op + "@" + std::to_string(m.threads), m.wall_ms);
+    benchutil::write_report(args, nullptr, report);
+
     if (!identical) return 1;
     return 0;
   } catch (const std::exception& e) {

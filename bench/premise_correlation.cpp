@@ -61,6 +61,15 @@ int main(int argc, char** argv) {
     std::printf("\n(premise holds when near-distance correlation is ~1 and "
                 "every critical node has a strongly correlated candidate "
                 "nearby)\n");
+
+    benchutil::RunReport report("premise_correlation");
+    report.scalar("mean_best_corr",
+                  sum_best / static_cast<double>(best.size()));
+    report.scalar("worst_best_corr", min_best);
+    report.scalar("max_best_distance_um", max_distance);
+    report.timing("platform_load", platform.load_ms);
+    benchutil::write_report(args, &platform, report);
+    benchutil::print_resilience(platform);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

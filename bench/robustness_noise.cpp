@@ -234,8 +234,12 @@ int main(int argc, char** argv) {
     std::printf("== robustness: %zu sensors, clean-trained vs "
                 "noise-trained ==\n",
                 rows.size());
+    benchutil::RunReport report("robustness_noise");
+    report.scalar("sensors_placed", static_cast<double>(rows.size()));
+    report.timing("platform_load", platform.load_ms);
     TablePrinter table({"sensor noise", "clean rel err(%)", "clean TE",
                         "retrained rel err(%)", "retrained TE"});
+    std::size_t level_index = 0;
     for (const auto& level : levels) {
       const linalg::Matrix x_test_noisy =
           core::apply_sensor_noise(x_test, level.noise, 101);
@@ -251,19 +255,27 @@ int main(int argc, char** argv) {
       const auto rates_retrained = core::evaluate_prediction_detector(
           data.f_test, pred_retrained, vth);
 
+      const double rel_clean =
+          core::relative_error(data.f_test, pred_clean);
+      const double rel_retrained =
+          core::relative_error(data.f_test, pred_retrained);
+      const std::string tag = "@" + std::to_string(level_index++);
+      report.scalar("clean_rel_err" + tag, rel_clean);
+      report.scalar("clean_te" + tag, rates_clean.total_error_rate());
+      report.scalar("retrained_rel_err" + tag, rel_retrained);
+      report.scalar("retrained_te" + tag,
+                    rates_retrained.total_error_rate());
       table.add_row(
-          {level.name,
-           TablePrinter::fmt(
-               100.0 * core::relative_error(data.f_test, pred_clean), 3),
+          {level.name, TablePrinter::fmt(100.0 * rel_clean, 3),
            TablePrinter::fmt(rates_clean.total_error_rate(), 4),
-           TablePrinter::fmt(
-               100.0 * core::relative_error(data.f_test, pred_retrained), 3),
+           TablePrinter::fmt(100.0 * rel_retrained, 3),
            TablePrinter::fmt(rates_retrained.total_error_rate(), 4)});
     }
     table.print(std::cout);
     std::printf("\n(noise-aware refits absorb sensor imperfections; the "
                 "methodology degrades gracefully until noise reaches the "
                 "droop scale)\n");
+    benchutil::write_report(args, &platform, report);
     benchutil::print_resilience(platform);
     return 0;
   } catch (const std::exception& e) {

@@ -97,6 +97,19 @@ int main(int argc, char** argv) {
       std::printf("\n(ablation: OLS refit disabled — §2.3 predicts these "
                   "errors are worse than the refit run)\n");
     }
+
+    benchutil::RunReport report("table1_lambda_sweep");
+    report.timing("platform_load", platform.load_ms);
+    for (std::size_t i = 0; i < lambdas.size(); ++i) {
+      const std::string tag = TablePrinter::fmt(lambdas[i], 0);
+      report.scalar("sensors@" + tag,
+                    static_cast<double>(points[i].sensors));
+      report.scalar("rel_err@" + tag, points[i].rel);
+      report.scalar("rmse@" + tag, points[i].rms);
+      report.timing("fit@" + tag, 1e3 * points[i].fit_seconds);
+    }
+    benchutil::write_report(args, &platform, report);
+    benchutil::print_resilience(platform);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -14,6 +14,7 @@
 #include "core/emergency.hpp"
 #include "core/pipeline.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace vmap;
@@ -40,14 +41,18 @@ int main(int argc, char** argv) {
     } else {
       throw std::runtime_error("unknown --eagle-strategy: " + strategy);
     }
+    Timer t_eagle;
     const auto eagle_rows =
         core::eagle_eye_place(data, *platform.floorplan, sensors, ee);
+    const double eagle_ms = t_eagle.millis();
 
     core::PipelineConfig config;
     config.lambda = benchutil::scaled_lambda(args, 60.0);
     config.sensors_per_core = sensors;
+    Timer t_fit;
     const auto model = core::fit_placement(data, *platform.floorplan, config,
                                            platform.report.get());
+    const double fit_ms = t_fit.millis();
 
     std::printf("== Table 2: error rates with %zu sensors per core "
                 "(emergency: V < %.2f) ==\n",
@@ -110,6 +115,21 @@ int main(int argc, char** argv) {
                 ee_wae_max, our_wae_max);
     std::printf("(paper: proposed ME and TE are about half of Eagle-Eye's "
                 "on every benchmark; WAE < 1e-3 for both)\n");
+
+    benchutil::RunReport report("table2_error_rates");
+    report.scalar("mean_ee_me", ee_me_sum / nb);
+    report.scalar("mean_ee_te", ee_te_sum / nb);
+    report.scalar("mean_our_me", our_me_sum / nb);
+    report.scalar("mean_our_te", our_te_sum / nb);
+    report.scalar("max_ee_wae", ee_wae_max);
+    report.scalar("max_our_wae", our_wae_max);
+    report.scalar("te_ratio", our_te_sum / std::max(ee_te_sum, 1e-12));
+    report.scalar("sensors_placed",
+                  static_cast<double>(model.sensor_rows().size()));
+    report.timing("platform_load", platform.load_ms);
+    report.timing("eagle_eye_place", eagle_ms);
+    report.timing("fit_placement", fit_ms);
+    benchutil::write_report(args, &platform, report);
     benchutil::print_resilience(platform);
     return 0;
   } catch (const std::exception& e) {

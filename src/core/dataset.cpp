@@ -17,8 +17,10 @@
 #include "util/assert.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 #include "workload/activity.hpp"
 #include "workload/power_model.hpp"
 
@@ -135,6 +137,8 @@ DataCollector::DataCollector(const grid::PowerGrid& grid,
 Dataset DataCollector::collect(
     const std::vector<workload::BenchmarkProfile>& suite) const {
   VMAP_REQUIRE(!suite.empty(), "benchmark suite is empty");
+  TraceSpan span("dataset.collect");
+  metrics::counter("dataset.collections").add();
   Timer total_timer;
   Dataset data;
   data.config = config_;
@@ -158,6 +162,7 @@ Dataset DataCollector::collect(
   // per-node droop ranking and the worst-droop magnitude from a unit-scale
   // run determine both the critical nodes and the absolute scale.
   {
+    TraceSpan calib_span("dataset.calibration");
     grid::TransientSim sim(grid_, config_.dt);
     workload::PowerModel unit_model(floorplan_, /*current_scale=*/1.0);
     workload::ActivityGenerator generator(floorplan_, suite.front(),
@@ -243,6 +248,7 @@ Dataset DataCollector::collect(
     for (std::size_t b = b_begin; b < b_end; ++b) {
       Timer bench_timer;
       const auto& profile = suite[b];
+      TraceSpan bench_span("collect." + profile.name);
       workload::ActivityGenerator generator(
           floorplan_, profile, Rng(config_.seed + 0x9E3779B9 * (b + 1)));
       worker_sim.reset();
@@ -291,6 +297,7 @@ Dataset DataCollector::collect(
   });
   data.benchmarks = std::move(slices);
 
+  metrics::gauge("dataset.collect_seconds").set(total_timer.seconds());
   VMAP_LOG(kInfo) << "dataset collected: M=" << m_count << " K=" << k_count
                   << " N_train=" << train_total << " N_test=" << test_total
                   << " in " << total_timer.seconds() << " s";
@@ -660,10 +667,13 @@ Dataset load_or_collect(const std::string& cache_path,
                         const DataConfig& config,
                         const std::vector<workload::BenchmarkProfile>& suite,
                         ResilienceReport* report) {
+  static metrics::Counter& hits = metrics::counter("dataset.cache_hits");
+  static metrics::Counter& misses = metrics::counter("dataset.cache_misses");
   if (!cache_path.empty()) {
     std::ifstream probe(cache_path, std::ios::binary);
     if (probe) {
       probe.close();
+      TraceSpan load_span("dataset.cache_load");
       StatusOr<Dataset> loaded = Dataset::try_load(cache_path);
       if (loaded.ok()) {
         Dataset& d = loaded.value();
@@ -677,6 +687,7 @@ Dataset load_or_collect(const std::string& cache_path,
             d.workload_hash == workload::suite_hash(suite) &&
             d.platform ==
                 platform_hash(grid.config(), floorplan.config())) {
+          hits.add();
           VMAP_LOG(kInfo) << "loaded dataset cache " << cache_path;
           return std::move(d);
         }
@@ -698,11 +709,13 @@ Dataset load_or_collect(const std::string& cache_path,
       }
     }
   }
+  misses.add();
   DataCollector collector(grid, floorplan, config);
   Dataset d = collector.collect(suite);
   if (!cache_path.empty()) {
     // A failed save must never kill a run that already holds a good
     // dataset; the next run simply recollects.
+    TraceSpan save_span("dataset.cache_save");
     const Status saved = d.try_save(cache_path);
     if (saved.ok()) {
       VMAP_LOG(kInfo) << "saved dataset cache " << cache_path;

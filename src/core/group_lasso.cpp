@@ -7,6 +7,8 @@
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace vmap::core {
 
@@ -90,9 +92,21 @@ GroupLassoResult GroupLasso::solve_penalized(
                      warm_start->cols() == problem_.num_groups(),
                  "warm start shape mismatch");
   }
+  TraceSpan span("gl.solve_penalized");
   GroupLassoResult result = options_.solver == GlSolver::kBcd
                                 ? solve_bcd(mu, warm_start)
                                 : solve_fista(mu, warm_start);
+  static metrics::Counter& solves = metrics::counter("gl.penalized_solves");
+  static metrics::Counter& sweeps = metrics::counter("gl.sweeps");
+  static metrics::Counter& breakdowns = metrics::counter("gl.breakdowns");
+  static metrics::Histogram& sweeps_per_solve = metrics::histogram(
+      "gl.sweeps_per_solve", metrics::default_iteration_buckets());
+  solves.add();
+  sweeps.add(result.iterations);
+  sweeps_per_solve.observe(static_cast<double>(result.iterations));
+  if (!result.status.ok()) breakdowns.add();
+  span.arg("mu", mu);
+  span.arg("sweeps", static_cast<double>(result.iterations));
   // On numerical breakdown the coefficients are garbage; leave the summary
   // fields zeroed rather than propagating NaN through them.
   if (result.status.ok()) finalize(result, mu);
@@ -299,6 +313,9 @@ GroupLassoResult GroupLasso::solve_fista(
 
 GroupLassoResult GroupLasso::solve_budget(double lambda) const {
   VMAP_REQUIRE(lambda > 0.0, "budget must be positive");
+  TraceSpan span("gl.solve_budget");
+  span.arg("lambda", lambda);
+  metrics::counter("gl.budget_solves").add();
   const double hi_mu = mu_max();
   if (hi_mu == 0.0) {
     // B = 0: the zero solution is optimal for any budget.

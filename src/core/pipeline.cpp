@@ -8,7 +8,9 @@
 #include "core/sensor_selection.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace vmap::core {
 
@@ -116,6 +118,13 @@ CoreModel fit_core(const Dataset& data, std::size_t core_index,
                    const PipelineConfig& config, ResilienceReport* report) {
   VMAP_REQUIRE(!candidate_rows.empty(), "no candidates for this core");
   VMAP_REQUIRE(!block_rows.empty(), "no blocks for this core");
+  TraceSpan span("pipeline.fit_core");
+  span.arg("core", static_cast<double>(core_index));
+  static metrics::Counter& fits = metrics::counter("pipeline.core_fits");
+  static metrics::Histogram& fit_ms =
+      metrics::histogram("pipeline.fit_core_ms");
+  fits.add();
+  metrics::ScopedTimerMs fit_timer(fit_ms);
 
   CoreModel core;
   core.core = core_index;
@@ -208,6 +217,9 @@ PlacementModel fit_placement(const Dataset& data,
                              const chip::Floorplan& floorplan,
                              const PipelineConfig& config,
                              ResilienceReport* report) {
+  TraceSpan span("pipeline.fit_placement");
+  span.arg("lambda", config.lambda);
+  metrics::counter("pipeline.placement_fits").add();
   VMAP_REQUIRE(config.lambda > 0.0, "lambda must be positive");
   VMAP_REQUIRE(config.threshold >= 0.0, "threshold must be non-negative");
   VMAP_REQUIRE(data.critical_block.size() == data.num_blocks(),

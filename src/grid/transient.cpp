@@ -2,6 +2,8 @@
 
 #include "sparse/csr.hpp"
 #include "util/assert.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace vmap::grid {
 
@@ -90,6 +92,9 @@ const linalg::Vector& TransientSim::step(
   VMAP_REQUIRE(load_currents.size() == grid_.node_count() ||
                    load_currents.size() == grid_.device_node_count(),
                "load current vector size mismatch");
+  TraceSpan span("transient.step");
+  static metrics::Counter& steps_total = metrics::counter("transient.steps");
+  steps_total.add();
   const double vdd = grid_.config().vdd;
 
   linalg::Vector rhs(grid_.node_count());
@@ -130,6 +135,8 @@ const linalg::Vector& TransientSim::step(
 
 void TransientSim::solve_with_fallback(
     const linalg::Vector& rhs, const StatusOr<sparse::CgResult>& failed) {
+  TraceSpan span("transient.step_fallback");
+  metrics::counter("transient.step_fallbacks").add();
   if (report_) {
     if (!failed.ok()) {
       report_->record("transient_step", ResilienceAction::kRetry,

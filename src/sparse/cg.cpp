@@ -8,6 +8,8 @@
 #include "sparse/skyline_cholesky.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace vmap::sparse {
 
@@ -159,10 +161,11 @@ StatusOr<Preconditioner> try_ic0_preconditioner(const CsrMatrix& a,
       [factor](const linalg::Vector& r) { return ic_solve(*factor, r); });
 }
 
-StatusOr<CgResult> conjugate_gradient_checked(const CsrMatrix& a,
-                                              const linalg::Vector& b,
-                                              const Preconditioner& m,
-                                              const CgOptions& options) {
+namespace {
+StatusOr<CgResult> conjugate_gradient_impl(const CsrMatrix& a,
+                                           const linalg::Vector& b,
+                                           const Preconditioner& m,
+                                           const CgOptions& options) {
   VMAP_REQUIRE(a.rows() == a.cols(), "CG requires a square matrix");
   VMAP_REQUIRE(b.size() == a.rows(), "CG rhs size mismatch");
 
@@ -224,6 +227,33 @@ StatusOr<CgResult> conjugate_gradient_checked(const CsrMatrix& a,
                   << result.iterations << " iterations";
   return result;
 }
+}  // namespace
+
+StatusOr<CgResult> conjugate_gradient_checked(const CsrMatrix& a,
+                                              const linalg::Vector& b,
+                                              const Preconditioner& m,
+                                              const CgOptions& options) {
+  TraceSpan span("cg.solve");
+  StatusOr<CgResult> result = conjugate_gradient_impl(a, b, m, options);
+  static metrics::Counter& solves = metrics::counter("cg.solves");
+  static metrics::Counter& iterations = metrics::counter("cg.iterations");
+  static metrics::Counter& cap_hits = metrics::counter("cg.iteration_cap_hits");
+  static metrics::Counter& breakdowns = metrics::counter("cg.breakdowns");
+  static metrics::Histogram& per_solve = metrics::histogram(
+      "cg.iterations_per_solve", metrics::default_iteration_buckets());
+  solves.add();
+  if (result.ok()) {
+    iterations.add(result->iterations);
+    per_solve.observe(static_cast<double>(result->iterations));
+    if (!result->converged) cap_hits.add();
+    span.arg("iterations", static_cast<double>(result->iterations));
+    span.arg("rel_residual", result->relative_residual);
+  } else {
+    breakdowns.add();
+    span.arg("breakdown", 1.0);
+  }
+  return result;
+}
 
 CgResult conjugate_gradient(const CsrMatrix& a, const linalg::Vector& b,
                             const Preconditioner& m,
@@ -233,11 +263,12 @@ CgResult conjugate_gradient(const CsrMatrix& a, const linalg::Vector& b,
   return std::move(result).value();
 }
 
-StatusOr<SpdSolveResult> solve_spd_resilient(const CsrMatrix& a,
-                                             const linalg::Vector& b,
-                                             const Preconditioner& m,
-                                             const CgOptions& options,
-                                             ResilienceReport* report) {
+namespace {
+StatusOr<SpdSolveResult> solve_spd_resilient_impl(const CsrMatrix& a,
+                                                  const linalg::Vector& b,
+                                                  const Preconditioner& m,
+                                                  const CgOptions& options,
+                                                  ResilienceReport* report) {
   const auto record = [&](ResilienceAction action, const std::string& detail,
                           ErrorCode code, double value) {
     if (report) report->record("spd_solve", action, detail, code, value);
@@ -312,6 +343,29 @@ StatusOr<SpdSolveResult> solve_spd_resilient(const CsrMatrix& a,
   out.iterations = 0;
   out.relative_residual = rel;
   out.fallbacks = 2;
+  return out;
+}
+}  // namespace
+
+StatusOr<SpdSolveResult> solve_spd_resilient(const CsrMatrix& a,
+                                             const linalg::Vector& b,
+                                             const Preconditioner& m,
+                                             const CgOptions& options,
+                                             ResilienceReport* report) {
+  TraceSpan span("cg.solve_spd_resilient");
+  StatusOr<SpdSolveResult> out =
+      solve_spd_resilient_impl(a, b, m, options, report);
+  static metrics::Counter& calls = metrics::counter("spd_solve.calls");
+  static metrics::Counter& rungs = metrics::counter("spd_solve.fallback_rungs");
+  static metrics::Counter& failures = metrics::counter("spd_solve.failures");
+  calls.add();
+  if (out.ok()) {
+    rungs.add(out->fallbacks);
+    span.arg("fallbacks", static_cast<double>(out->fallbacks));
+    span.arg("iterations", static_cast<double>(out->iterations));
+  } else {
+    failures.add();
+  }
   return out;
 }
 

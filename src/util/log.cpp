@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+
+#include "util/parallel.hpp"
 
 namespace vmap {
 
@@ -18,6 +21,14 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Serializes writes: stderr is unbuffered, so concurrent fprintf calls
+/// from pool workers could interleave mid-line. Leaky so logging from
+/// static destructors stays safe.
+std::mutex& log_mutex() {
+  static std::mutex* m = new std::mutex();  // intentionally leaked
+  return *m;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
@@ -25,7 +36,24 @@ LogLevel log_level() { return g_level.load(); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[vmap %s] %s\n", level_name(level), message.c_str());
+  // Build the full line first, then emit it in one guarded write; pool
+  // workers tag their lines with the worker index so interleaved phases
+  // remain attributable.
+  char prefix[32];
+  const int w = worker_index();
+  if (w >= 0) {
+    std::snprintf(prefix, sizeof(prefix), "[vmap %s w%d] ",
+                  level_name(level), w);
+  } else {
+    std::snprintf(prefix, sizeof(prefix), "[vmap %s] ", level_name(level));
+  }
+  std::string line;
+  line.reserve(sizeof(prefix) + message.size() + 1);
+  line += prefix;
+  line += message;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 }  // namespace detail
 

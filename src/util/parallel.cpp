@@ -9,11 +9,15 @@
 #include <mutex>
 #include <thread>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace vmap {
 
 namespace {
 
 thread_local bool t_in_parallel_region = false;
+thread_local int t_worker_index = -1;
 
 /// Hard cap on the pool size; VMAP_THREADS above it is clamped. Generous —
 /// it only guards against absurd env values, not oversubscription (tests
@@ -39,6 +43,9 @@ struct Batch {
   const std::function<void(std::size_t)>* body = nullptr;
   std::size_t begin = 0;
   std::size_t count = 0;
+  /// Span active on the submitting thread; workers adopt it so their
+  /// spans nest under the parallel_for's caller in the trace.
+  std::uint64_t trace_parent = 0;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex mutex;
@@ -49,9 +56,12 @@ struct Batch {
 /// Pulls indices until the batch is exhausted. Runs on workers and on the
 /// submitting thread alike.
 void drain(Batch& batch) {
+  TraceContextScope trace_scope(batch.trace_parent);
+  std::size_t executed = 0;
   for (;;) {
     const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= batch.count) return;
+    if (i >= batch.count) break;
+    ++executed;
     try {
       (*batch.body)(batch.begin + i);
     } catch (...) {
@@ -64,6 +74,17 @@ void drain(Batch& batch) {
       batch.completed.notify_all();
     }
   }
+  if (executed > 0) {
+    static metrics::Counter& indices = metrics::counter("pool.indices");
+    indices.add(executed);
+    if (t_worker_index >= 0) {
+      // The worker-executed share — the "stolen from the submitter" count
+      // for this dynamic-scheduling pool.
+      static metrics::Counter& stolen =
+          metrics::counter("pool.worker_indices");
+      stolen.add(executed);
+    }
+  }
 }
 
 class ThreadPool {
@@ -71,7 +92,11 @@ class ThreadPool {
   /// Spawns threads - 1 workers; the submitting thread is the last lane.
   explicit ThreadPool(std::size_t threads) : threads_(threads) {
     for (std::size_t i = 0; i + 1 < threads_; ++i)
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] {
+        t_worker_index = static_cast<int>(i);
+        worker_loop();
+      });
+    metrics::gauge("pool.threads").set(static_cast<double>(threads_));
   }
 
   ~ThreadPool() {
@@ -86,6 +111,15 @@ class ThreadPool {
   std::size_t threads() const { return threads_; }
 
   void run(const std::shared_ptr<Batch>& batch) {
+    {
+      static metrics::Counter& batches = metrics::counter("pool.batches");
+      static metrics::Histogram& batch_size = metrics::histogram(
+          "pool.batch_size", metrics::default_iteration_buckets());
+      batches.add();
+      batch_size.observe(static_cast<double>(batch->count));
+      metrics::gauge("pool.queue_depth")
+          .set(static_cast<double>(batch->count));
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       current_ = batch;
@@ -107,6 +141,7 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mutex_);
       if (current_ == batch) current_.reset();
     }
+    metrics::gauge("pool.queue_depth").set(0.0);
     if (batch->error) std::rethrow_exception(batch->error);
   }
 
@@ -178,6 +213,8 @@ void set_thread_count(std::size_t n) {
 
 bool in_parallel_region() { return t_in_parallel_region; }
 
+int worker_index() { return t_worker_index; }
+
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body) {
   if (end <= begin) return;
@@ -206,6 +243,7 @@ void parallel_for(std::size_t begin, std::size_t end,
   batch->body = &body;
   batch->begin = begin;
   batch->count = n;
+  batch->trace_parent = trace_detail::current_span();
   pool->run(batch);
 }
 

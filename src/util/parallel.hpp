@@ -41,6 +41,12 @@ void set_thread_count(std::size_t n);
 /// any thread). Nested parallel calls check this to run inline.
 bool in_parallel_region();
 
+/// Index of the current pool worker thread (0-based, stable for the
+/// worker's lifetime), or -1 on any thread the pool did not spawn (the
+/// main/submitting thread included). Logging tags lines with it;
+/// tracing names worker timelines with it.
+int worker_index();
+
 /// Runs body(i) for every i in [begin, end), distributing indices over the
 /// pool; the calling thread participates. Blocks until all indices are
 /// done. The first exception thrown by a body is rethrown on the caller

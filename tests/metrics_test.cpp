@@ -1,0 +1,181 @@
+// Metrics-registry semantics: counter/gauge arithmetic, histogram bucket
+// math, the enable switch, snapshot/JSON shape, and the run-report JSON
+// round trip through bench/common's write_report.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel.hpp"
+
+namespace vmap {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Metrics, CounterAddsAndResets) {
+  metrics::Counter& c = metrics::counter("test.counter.basic");
+  c.reset();
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, RegistryReturnsTheSameInstance) {
+  metrics::Counter& a = metrics::counter("test.counter.same");
+  metrics::Counter& b = metrics::counter("test.counter.same");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  metrics::Gauge& g = metrics::gauge("test.gauge.basic");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, HistogramBucketMath) {
+  metrics::Histogram& h =
+      metrics::histogram("test.hist.buckets", {1.0, 2.0, 4.0});
+  h.reset();
+  for (double v : {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0}) h.observe(v);
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.counts[0], 2u);      // 0.5, 1.0   (<= 1)
+  EXPECT_EQ(snap.counts[1], 2u);      // 1.5, 2.0   (<= 2)
+  EXPECT_EQ(snap.counts[2], 2u);      // 3.0, 4.0   (<= 4)
+  EXPECT_EQ(snap.counts[3], 1u);      // 100        (overflow)
+  EXPECT_EQ(snap.count, 7u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 4.0 + 100.0);
+}
+
+TEST(Metrics, HistogramKeepsFirstBucketLayout) {
+  metrics::Histogram& a =
+      metrics::histogram("test.hist.layout", {1.0, 10.0});
+  metrics::Histogram& b =
+      metrics::histogram("test.hist.layout", {99.0});
+  EXPECT_EQ(&a, &b);
+  ASSERT_EQ(b.bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(b.bounds()[1], 10.0);
+}
+
+TEST(Metrics, DisabledRecordingIsANoOp) {
+  metrics::Counter& c = metrics::counter("test.counter.disabled");
+  metrics::Gauge& g = metrics::gauge("test.gauge.disabled");
+  metrics::Histogram& h = metrics::histogram("test.hist.disabled", {1.0});
+  c.reset();
+  g.reset();
+  h.reset();
+  metrics::set_enabled(false);
+  c.add(7);
+  g.set(7.0);
+  h.observe(7.0);
+  metrics::set_enabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  c.add();  // recording resumes once re-enabled
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Metrics, CountersAreThreadSafeUnderThePool) {
+  set_thread_count(4);
+  metrics::Counter& c = metrics::counter("test.counter.pool");
+  c.reset();
+  parallel_for(0, 1000, [&](std::size_t) { c.add(); });
+  set_thread_count(0);
+  EXPECT_EQ(c.value(), 1000u);
+}
+
+TEST(Metrics, SnapshotJsonHasAllSections) {
+  metrics::counter("test.json.counter").add(2);
+  metrics::gauge("test.json.gauge").set(1.5);
+  metrics::histogram("test.json.hist", {1.0}).observe(0.5);
+  const std::string json = metrics::snapshot_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"inf\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Metrics, ResetAllZeroesEverything) {
+  metrics::Counter& c = metrics::counter("test.reset.counter");
+  metrics::Histogram& h = metrics::histogram("test.reset.hist", {1.0});
+  c.add(5);
+  h.observe(0.5);
+  metrics::reset_all();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(RunReport, JsonRoundTripThroughWriteReport) {
+  const std::string path = "metrics_test_report.json";
+  CliArgs args("metrics_test");
+  args.add_flag("report", "", "output path");
+  const char* argv[] = {"metrics_test", "--report", path.c_str()};
+  ASSERT_TRUE(args.parse(3, argv));
+
+  metrics::counter("test.report.counter").add(9);
+  benchutil::RunReport report("metrics_test");
+  report.scalar("answer", 42.0);
+  report.scalar("fraction", 2.5);
+  report.timing("phase_one", 12.5);
+  benchutil::write_report(args, nullptr, report);
+
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"metrics_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"answer\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"fraction\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"phase_one\":12.5"), std::string::npos);
+  EXPECT_NE(json.find("\"calibration_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"resilience\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.report.counter\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  std::remove(path.c_str());
+}
+
+TEST(RunReport, NoPathMeansNoFile) {
+  CliArgs args("metrics_test");
+  args.add_flag("report", "", "output path");
+  const char* argv[] = {"metrics_test"};
+  ASSERT_TRUE(args.parse(1, argv));
+  benchutil::RunReport report("unused");
+  benchutil::write_report(args, nullptr, report);  // must not throw
+  std::ifstream in("");
+  EXPECT_FALSE(in.good());
+}
+
+}  // namespace
+}  // namespace vmap

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Summarize a VMAP_TRACE Chrome-trace JSON: top spans by self-time.
+
+Usage:
+  tools/trace_summary.py trace.json [--top 20]
+
+Self-time of a span is its duration minus the durations of its direct
+children (parent links are carried in each event's args, so children on
+pool workers are attributed to the span that submitted them). Spans are
+aggregated by name; the table shows call count, total/self wall time,
+and the mean span duration — the first place to look when a run is
+slower than its baseline.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="top spans by self-time from a Chrome trace")
+    parser.add_argument("trace", help="trace JSON written via VMAP_TRACE")
+    parser.add_argument("--top", type=int, default=20)
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace_summary: cannot read {args.trace}: {e}",
+              file=sys.stderr)
+        return 2
+
+    events = [e for e in doc.get("traceEvents", []) if e.get("ph") == "X"]
+    if not events:
+        print("trace_summary: no complete ('X') events in the trace")
+        return 0
+
+    # Children charge their duration against the parent's self-time.
+    child_us = defaultdict(float)
+    for e in events:
+        parent = e.get("args", {}).get("parent", 0)
+        if parent:
+            child_us[parent] += float(e.get("dur", 0.0))
+
+    stats = defaultdict(lambda: {"count": 0, "total": 0.0, "self": 0.0})
+    threads = set()
+    for e in events:
+        name = e.get("name", "?")
+        dur = float(e.get("dur", 0.0))
+        span_id = e.get("args", {}).get("id", 0)
+        s = stats[name]
+        s["count"] += 1
+        s["total"] += dur
+        s["self"] += max(0.0, dur - child_us.get(span_id, 0.0))
+        threads.add(e.get("tid", 0))
+
+    wall_us = max(float(e.get("ts", 0)) + float(e.get("dur", 0))
+                  for e in events)
+    print(f"{len(events)} spans, {len(stats)} distinct names, "
+          f"{len(threads)} timeline rows, {wall_us / 1e6:.3f} s traced")
+    print()
+    header = f"{'span':<36} {'count':>8} {'self(ms)':>12} " \
+             f"{'total(ms)':>12} {'mean(us)':>10} {'self%':>6}"
+    print(header)
+    print("-" * len(header))
+    total_self = sum(s["self"] for s in stats.values()) or 1.0
+    ranked = sorted(stats.items(), key=lambda kv: -kv[1]["self"])
+    for name, s in ranked[: args.top]:
+        mean_us = s["total"] / s["count"]
+        print(f"{name:<36} {s['count']:>8} {s['self'] / 1e3:>12.2f} "
+              f"{s['total'] / 1e3:>12.2f} {mean_us:>10.1f} "
+              f"{100.0 * s['self'] / total_self:>5.1f}%")
+    if len(ranked) > args.top:
+        rest = sum(s["self"] for _, s in ranked[args.top:])
+        print(f"{'(other)':<36} {'':>8} {rest / 1e3:>12.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
