@@ -172,6 +172,28 @@ std::vector<bool> SensorFaultDetector::healthy_mask() const {
   return mask;
 }
 
+SensorFaultDetector::RuntimeState SensorFaultDetector::runtime_state() const {
+  RuntimeState s;
+  s.health = health_;
+  s.out_streak = out_streak_;
+  s.in_streak = in_streak_;
+  return s;
+}
+
+Status SensorFaultDetector::restore_runtime_state(const RuntimeState& state) {
+  const std::size_t q = sensors();
+  if (state.health.size() != q || state.out_streak.size() != q ||
+      state.in_streak.size() != q)
+    return Status::InvalidArgument(
+        "detector runtime state is for " +
+        std::to_string(state.health.size()) + " sensors, detector has " +
+        std::to_string(q));
+  health_ = state.health;
+  out_streak_ = state.out_streak;
+  in_streak_ = state.in_streak;
+  return Status::Ok();
+}
+
 void SensorFaultDetector::reset() {
   std::fill(health_.begin(), health_.end(), SensorHealth::kHealthy);
   std::fill(out_streak_.begin(), out_streak_.end(), 0);

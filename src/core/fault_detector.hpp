@@ -28,6 +28,7 @@
 #include "core/ols_model.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
+#include "util/status.hpp"
 
 namespace vmap::core {
 
@@ -92,6 +93,19 @@ class SensorFaultDetector {
 
   /// Forgets all runtime state (health, streaks); the trained models stay.
   void reset();
+
+  /// Mutable runtime state (health + hysteresis streaks), detached from the
+  /// trained cross-prediction models — what a serving checkpoint must carry
+  /// so a restart resumes mid-hysteresis instead of re-learning faults.
+  struct RuntimeState {
+    std::vector<SensorHealth> health;
+    std::vector<std::size_t> out_streak;
+    std::vector<std::size_t> in_streak;
+  };
+  RuntimeState runtime_state() const;
+  /// Restores a runtime_state() snapshot; InvalidArgument on a sensor-count
+  /// mismatch (state from a differently-shaped detector).
+  Status restore_runtime_state(const RuntimeState& state);
 
  private:
   FaultDetectorConfig config_;

@@ -29,24 +29,60 @@ OnlineMonitor::OnlineMonitor(PlacementModel model, OnlineMonitorConfig config,
 
 OnlineMonitor::Decision OnlineMonitor::observe(
     const linalg::Vector& sensor_readings) {
+  return observe_impl(sensor_readings, nullptr);
+}
+
+OnlineMonitor::Decision OnlineMonitor::observe_with_prediction(
+    const linalg::Vector& sensor_readings, const linalg::Vector& predicted) {
+  VMAP_REQUIRE(predicted.size() == model_.num_blocks(),
+               "precomputed prediction must cover every monitored block");
+  return observe_impl(sensor_readings, &predicted);
+}
+
+OnlineMonitor::Decision OnlineMonitor::observe_impl(
+    const linalg::Vector& sensor_readings,
+    const linalg::Vector* precomputed) {
   VMAP_REQUIRE(sensor_readings.size() == model_.sensor_rows().size(),
                "readings must align with the model's placed sensors");
-  for (std::size_t i = 0; i < sensor_readings.size(); ++i)
-    VMAP_REQUIRE(std::isfinite(sensor_readings[i]),
-                 "sensor reading is not finite");
-
   Decision decision;
+  for (std::size_t i = 0; i < sensor_readings.size(); ++i)
+    if (!std::isfinite(sensor_readings[i])) ++decision.invalid_readings;
+
+  // A bad feed must degrade, never kill the process. Without a fallback
+  // bank there is nothing safe to predict from, so the sample is refused
+  // (monitor state untouched — the alarm holds at its last debounced value).
+  if (decision.invalid_readings > 0 && !detector_) {
+    decision.rejected = true;
+    decision.status = Status::InvalidArgument(
+        std::to_string(decision.invalid_readings) +
+        " non-finite sensor reading(s); monitor has no fallback bank");
+    ++rejected_samples_;
+    return decision;
+  }
+
   if (detector_) {
     detector_->observe(sensor_readings);
     decision.faulty_sensors = detector_->faulty_count();
-    if (decision.faulty_sensors > 0) {
+    if (decision.faulty_sensors > 0 || decision.invalid_readings > 0) {
       decision.degraded = true;
-      decision.predicted =
-          bank_->predict(sensor_readings, detector_->healthy_mask());
+      std::vector<bool> usable = detector_->healthy_mask();
+      for (std::size_t i = 0; i < sensor_readings.size(); ++i)
+        if (!std::isfinite(sensor_readings[i])) usable[i] = false;
+      decision.predicted = bank_->predict(sensor_readings, usable);
     }
   }
   if (!decision.degraded)
-    decision.predicted = model_.predict_from_sensor_readings(sensor_readings);
+    decision.predicted =
+        precomputed ? *precomputed
+                    : model_.predict_from_sensor_readings(sensor_readings);
+
+  if (decision.predicted.size() == 0) {
+    decision.rejected = true;
+    decision.status =
+        Status::Numerical("model produced an empty prediction vector");
+    ++rejected_samples_;
+    return decision;
+  }
 
   decision.worst_voltage = decision.predicted[0];
   for (std::size_t k = 0; k < decision.predicted.size(); ++k) {
@@ -86,6 +122,51 @@ std::vector<SensorHealth> OnlineMonitor::sensor_health() const {
   return detector_->health();
 }
 
+SensorFaultDetector::RuntimeState OnlineMonitor::detector_state() const {
+  if (!detector_) return {};
+  return detector_->runtime_state();
+}
+
+Status OnlineMonitor::restore_detector_state(
+    const SensorFaultDetector::RuntimeState& state) {
+  if (!detector_) {
+    if (state.health.empty() && state.out_streak.empty() &&
+        state.in_streak.empty())
+      return Status::Ok();
+    return Status::InvalidArgument(
+        "detector state supplied for a monitor without a fault detector");
+  }
+  return detector_->restore_runtime_state(state);
+}
+
+OnlineMonitor::Counters OnlineMonitor::counters() const {
+  Counters c;
+  c.alarm = alarm_;
+  c.degraded = degraded_;
+  c.crossing_streak = crossing_streak_;
+  c.safe_streak = safe_streak_;
+  c.samples = samples_;
+  c.alarm_samples = alarm_samples_;
+  c.alarm_episodes = alarm_episodes_;
+  c.degraded_samples = degraded_samples_;
+  c.degraded_episodes = degraded_episodes_;
+  c.rejected_samples = rejected_samples_;
+  return c;
+}
+
+void OnlineMonitor::restore_counters(const Counters& c) {
+  alarm_ = c.alarm;
+  degraded_ = c.degraded;
+  crossing_streak_ = static_cast<std::size_t>(c.crossing_streak);
+  safe_streak_ = static_cast<std::size_t>(c.safe_streak);
+  samples_ = static_cast<std::size_t>(c.samples);
+  alarm_samples_ = static_cast<std::size_t>(c.alarm_samples);
+  alarm_episodes_ = static_cast<std::size_t>(c.alarm_episodes);
+  degraded_samples_ = static_cast<std::size_t>(c.degraded_samples);
+  degraded_episodes_ = static_cast<std::size_t>(c.degraded_episodes);
+  rejected_samples_ = static_cast<std::size_t>(c.rejected_samples);
+}
+
 void OnlineMonitor::reset() {
   alarm_ = false;
   degraded_ = false;
@@ -96,6 +177,7 @@ void OnlineMonitor::reset() {
   alarm_episodes_ = 0;
   degraded_samples_ = 0;
   degraded_episodes_ = 0;
+  rejected_samples_ = 0;
   if (detector_) detector_->reset();
 }
 

@@ -20,6 +20,7 @@
 //    evaluation.
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "core/fault_detector.hpp"
 #include "core/pipeline.hpp"
 #include "linalg/vector.hpp"
+#include "util/status.hpp"
 
 namespace vmap::core {
 
@@ -58,12 +60,58 @@ class OnlineMonitor {
     linalg::Vector predicted;    ///< all monitored rows' predictions
     bool degraded = false;       ///< prediction came from a fallback model
     std::size_t faulty_sensors = 0;  ///< sensors flagged at this sample
+    std::size_t invalid_readings = 0;  ///< non-finite entries in this sample
+    /// The sample was refused: no prediction was made and no monitor state
+    /// (streaks, counters, alarm) changed. `status` explains why.
+    bool rejected = false;
+    Status status;
   };
 
   /// Consumes one reading vector (aligned with the model's sensor_rows()).
-  /// Throws ContractError on a size mismatch or any non-finite reading —
-  /// NaN/Inf must not silently propagate into alarm decisions.
+  /// Throws ContractError on a size mismatch (caller bug). Non-finite
+  /// readings never abort: a fault-tolerant monitor routes the affected
+  /// sensors through the detector/degraded-bank path (NaN/Inf entries are
+  /// excluded from the prediction exactly like flagged-faulty sensors),
+  /// while a plain monitor returns a rejected Decision carrying a Status —
+  /// the bad feed degrades or is refused, it cannot kill the process.
   Decision observe(const linalg::Vector& sensor_readings);
+
+  /// Micro-batching entry point: identical to observe() except that on the
+  /// all-healthy, all-finite path the supplied `predicted` vector is used
+  /// instead of re-evaluating the model. The caller must pass exactly
+  /// model().predict_from_sensor_readings(sensor_readings) (the serving
+  /// layer computes it for many chips at once through the blocked matmul
+  /// kernels); on any degraded/invalid sample the precomputed vector is
+  /// ignored and the fallback path recomputes.
+  Decision observe_with_prediction(const linalg::Vector& sensor_readings,
+                                   const linalg::Vector& predicted);
+
+  /// Snapshot of all mutable monitor state (debounce streaks + accounting),
+  /// for crash-safe checkpointing of a serving fleet.
+  struct Counters {
+    bool alarm = false;
+    bool degraded = false;
+    std::uint64_t crossing_streak = 0;
+    std::uint64_t safe_streak = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t alarm_samples = 0;
+    std::uint64_t alarm_episodes = 0;
+    std::uint64_t degraded_samples = 0;
+    std::uint64_t degraded_episodes = 0;
+    std::uint64_t rejected_samples = 0;
+  };
+  Counters counters() const;
+  /// Restores a counters() snapshot (detector state is restored separately
+  /// via SensorFaultDetector::restore_runtime_state).
+  void restore_counters(const Counters& c);
+
+  /// Detector hysteresis state for checkpointing (empty vectors when the
+  /// monitor is not fault-tolerant).
+  SensorFaultDetector::RuntimeState detector_state() const;
+  /// Restores detector_state(); OK and a no-op for a plain monitor fed an
+  /// empty snapshot, InvalidArgument on any shape mismatch.
+  Status restore_detector_state(
+      const SensorFaultDetector::RuntimeState& state);
 
   const PlacementModel& model() const { return model_; }
   const OnlineMonitorConfig& config() const { return config_; }
@@ -84,10 +132,15 @@ class OnlineMonitor {
   /// Distinct degraded-mode episodes (entries into degraded operation).
   std::size_t degraded_episodes() const { return degraded_episodes_; }
   bool degraded_active() const { return degraded_; }
+  /// Samples refused with a rejected Decision (plain monitor fed NaN/Inf).
+  std::size_t rejected_samples() const { return rejected_samples_; }
 
   void reset();
 
  private:
+  Decision observe_impl(const linalg::Vector& sensor_readings,
+                        const linalg::Vector* precomputed);
+
   PlacementModel model_;
   OnlineMonitorConfig config_;
   std::optional<SensorFaultDetector> detector_;
@@ -101,6 +154,7 @@ class OnlineMonitor {
   std::size_t alarm_episodes_ = 0;
   std::size_t degraded_samples_ = 0;
   std::size_t degraded_episodes_ = 0;
+  std::size_t rejected_samples_ = 0;
 };
 
 }  // namespace vmap::core

@@ -70,6 +70,38 @@ linalg::Vector PlacementModel::predict_from_sensor_readings(
   return f_pred;
 }
 
+linalg::Matrix PlacementModel::predict_from_sensor_readings_batch(
+    const linalg::Matrix& readings) const {
+  VMAP_REQUIRE(readings.rows() == sensor_rows_.size(),
+               "reading rows must align with the placed sensors");
+  auto position_of = [this](std::size_t row) {
+    const auto it =
+        std::lower_bound(sensor_rows_.begin(), sensor_rows_.end(), row);
+    VMAP_ASSERT(it != sensor_rows_.end() && *it == row,
+                "selected row missing from the sensor list");
+    return static_cast<std::size_t>(it - sensor_rows_.begin());
+  };
+  const std::size_t n = readings.cols();
+  linalg::Matrix f_pred(num_blocks_, n);
+  for (const auto& core : cores_) {
+    linalg::Matrix x_sel(core.selected_rows.size(), n);
+    for (std::size_t j = 0; j < core.selected_rows.size(); ++j) {
+      const double* src =
+          readings.row_data(position_of(core.selected_rows[j]));
+      double* dst = x_sel.row_data(j);
+      for (std::size_t s = 0; s < n; ++s) dst[s] = src[s];
+    }
+    const linalg::Matrix f_core = linalg::matmul(core.alpha, x_sel);
+    for (std::size_t k = 0; k < core.block_rows.size(); ++k) {
+      const double c = core.intercept[k];
+      const double* src = f_core.row_data(k);
+      double* dst = f_pred.row_data(core.block_rows[k]);
+      for (std::size_t s = 0; s < n; ++s) dst[s] = src[s] + c;
+    }
+  }
+  return f_pred;
+}
+
 linalg::Vector PlacementModel::predict_sample(
     const linalg::Vector& x_full) const {
   linalg::Vector f_pred(num_blocks_);

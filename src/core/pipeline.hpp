@@ -72,6 +72,14 @@ class PlacementModel {
   /// hardware would evaluate.
   linalg::Vector predict_from_sensor_readings(
       const linalg::Vector& readings) const;
+  /// Micro-batched runtime variant for the serving layer: `readings` is
+  /// Q x B (one column per sample, rows aligned with sensor_rows()); returns
+  /// K x B through the blocked matmul kernels. Column b is bit-identical to
+  /// predict_from_sensor_readings(readings.col(b)) — both paths accumulate
+  /// each output in the same ascending-k order — so batching a fleet of
+  /// chips cannot change any single chip's alarm decision.
+  linalg::Matrix predict_from_sensor_readings_batch(
+      const linalg::Matrix& readings) const;
 
  private:
   std::vector<CoreModel> cores_;

@@ -1,0 +1,113 @@
+#pragma once
+// Bounded MPMC queue — the fleet's per-shard ingestion buffer and the heart
+// of its overload protection.
+//
+// The capacity bound is the backpressure contract: when producers outrun a
+// shard, try_push refuses the *newest* reading (reject-newest shed policy)
+// instead of growing without bound, so the readings already admitted still
+// drain within a bounded delay and alarm latency stays bounded under
+// overload. Shedding is always visible to the caller (false return) — the
+// fleet counts every shed against the owning chip; nothing is dropped
+// silently.
+//
+// close() is the clean-shutdown half: further pushes fail, but everything
+// already admitted remains poppable, so stopping a fleet never loses an
+// accepted reading.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace vmap::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admits `item` unless the queue is full or closed. Never blocks: under
+  /// overload the caller learns immediately that the item was shed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Failover refill: admits even beyond capacity. The items being refilled
+  /// were already admitted once — re-shedding them would turn a failover
+  /// into silent loss. Only a closed queue refuses.
+  bool force_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Pops up to `max_items` into `out` (appended), waiting up to `wait` for
+  /// the first item. Returns the number popped; 0 after a timeout or when
+  /// the queue is closed and empty.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max_items,
+                        std::chrono::milliseconds wait) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait_for(lock, wait, [&] { return closed_ || !items_.empty(); });
+    std::size_t n = 0;
+    while (n < max_items && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Removes and returns everything pending (failover steals a dead
+  /// shard's backlog through this).
+  std::vector<T> drain() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<T> out(std::make_move_iterator(items_.begin()),
+                       std::make_move_iterator(items_.end()));
+    items_.clear();
+    return out;
+  }
+
+  /// Refuses further pushes and wakes all poppers. Pending items stay
+  /// poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace vmap::serve

@@ -1,0 +1,435 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/parallel.hpp"
+
+namespace vmap::serve {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void sleep_ms(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+MonitorFleet::MonitorFleet(FleetConfig config) : config_(config) {
+  config_.shards = std::max<std::size_t>(1, config_.shards);
+  config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->queue =
+        std::make_unique<BoundedQueue<Reading>>(config_.queue_capacity);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+MonitorFleet::~MonitorFleet() { stop(); }
+
+ChipId MonitorFleet::add_chip(
+    core::OnlineMonitor monitor,
+    std::shared_ptr<const core::PlacementModel> shared_model) {
+  VMAP_REQUIRE(!running(), "add_chip while the fleet is running");
+  ChipDomain::Config dc;
+  dc.quarantine_after = config_.quarantine_after;
+  dc.probation = config_.probation;
+  dc.suspend_after = config_.suspend_after;
+  const ChipId id = static_cast<ChipId>(chips_.size());
+  chips_.push_back(std::make_unique<ChipDomain>(
+      id, std::move(monitor), std::move(shared_model), dc));
+  chaos_delay_ms_.push_back(std::make_unique<std::atomic<double>>(0.0));
+  return id;
+}
+
+IngestResult MonitorFleet::ingest(Reading reading) {
+  if (!accepting_.load(std::memory_order_acquire))
+    return {false, RejectReason::kStopped};
+  if (reading.chip >= chips_.size())
+    return {false, RejectReason::kUnknownChip};
+  reading.ingest_ms = now_ms();
+  ingested_.fetch_add(1, kRelaxed);
+  Shard& shard = *shards_[shard_of(reading.chip)];
+  ChipDomain& domain = *chips_[reading.chip];
+  std::lock_guard<std::mutex> route(shard.route_mutex);
+  if (shard.queue->closed()) return {false, RejectReason::kStopped};
+  if (shard.queue->try_push(std::move(reading))) {
+    enqueued_.fetch_add(1, kRelaxed);
+    return {true, RejectReason::kNone};
+  }
+  shed_.fetch_add(1, kRelaxed);
+  domain.count_shed();
+  return {false, RejectReason::kShed};
+}
+
+std::size_t MonitorFleet::pump() {
+  VMAP_REQUIRE(!running(), "pump() is the non-threaded mode; stop() first");
+  std::vector<std::size_t> handled(shards_.size(), 0);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    tasks.push_back([this, i, &handled] {
+      Shard& shard = *shards_[i];
+      std::vector<Reading> batch;
+      for (;;) {
+        batch.clear();
+        const std::size_t n = shard.queue->pop_batch(
+            batch, config_.max_batch, std::chrono::milliseconds(0));
+        if (n == 0) break;
+        handled[i] += n;
+        execute_batch(shard, std::move(batch), /*publish=*/false);
+        batch = std::vector<Reading>();
+      }
+    });
+  }
+  parallel_invoke(tasks);
+  std::size_t total = 0;
+  for (std::size_t n : handled) total += n;
+  return total;
+}
+
+void MonitorFleet::start() {
+  VMAP_REQUIRE(!running(), "fleet is already running");
+  watchdog_stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    BoundedQueue<Reading>* queue = shard.queue.get();
+    shard.last_handled = shard.handled.load(kRelaxed);
+    shard.stalled_since_ms = -1.0;
+    shard.worker = std::thread([this, &shard, queue] {
+      worker_loop(shard, queue);
+    });
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+void MonitorFleet::stop() {
+  if (!running_.exchange(false)) return;
+  watchdog_stop_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) watchdog_.join();
+  // Stop admission, then close every queue: close() keeps pending items
+  // poppable, so the workers drain everything admitted before exiting.
+  accepting_.store(false, std::memory_order_release);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> route(shard->route_mutex);
+    shard->queue->close();
+  }
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex);
+    for (auto& worker : retired_workers_)
+      if (worker.joinable()) worker.join();
+    retired_workers_.clear();
+    retired_queues_.clear();
+  }
+  // Fresh queues so the stopped fleet can still be ingested into and
+  // pump()ed (tests, checkpoint-then-inspect flows).
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> route(shard->route_mutex);
+    shard->queue =
+        std::make_unique<BoundedQueue<Reading>>(config_.queue_capacity);
+  }
+  accepting_.store(true, std::memory_order_release);
+}
+
+void MonitorFleet::worker_loop(Shard& shard, BoundedQueue<Reading>* queue) {
+  std::vector<Reading> batch;
+  for (;;) {
+    batch.clear();
+    const std::size_t n = queue->pop_batch(batch, config_.max_batch,
+                                           std::chrono::milliseconds(2));
+    if (n == 0) {
+      if (queue->closed() && queue->size() == 0) return;
+      continue;
+    }
+    execute_batch(shard, std::move(batch), /*publish=*/true);
+    batch = std::vector<Reading>();
+  }
+}
+
+void MonitorFleet::execute_batch(Shard& shard, std::vector<Reading> batch,
+                                 bool publish) {
+  std::vector<linalg::Vector> precomputed(batch.size());
+  if (config_.batch_predictions) compute_batch_predictions(batch, precomputed);
+
+  if (!publish) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const double delay = chaos_delay_ms_[batch[i].chip]->load(kRelaxed);
+      if (delay > 0) sleep_ms(delay);
+      decide_one(batch[i],
+                 precomputed[i].size() ? &precomputed[i] : nullptr);
+      shard.handled.fetch_add(1, kRelaxed);
+    }
+    return;
+  }
+
+  // Threaded mode: share the batch through the inflight slot so the
+  // watchdog can steal the un-decided remainder if this worker stalls.
+  {
+    std::lock_guard<std::mutex> lock(shard.inflight_mutex);
+    shard.inflight = std::move(batch);
+    shard.inflight_pos = 0;
+    shard.inflight_stolen = false;
+  }
+  for (;;) {
+    Reading reading;
+    std::size_t index = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.inflight_mutex);
+      if (shard.inflight_stolen ||
+          shard.inflight_pos >= shard.inflight.size())
+        break;
+      index = shard.inflight_pos++;
+      reading = std::move(shard.inflight[index]);
+      // Published before any potential stall so the watchdog can name the
+      // chip to poison-pill.
+      shard.current_chip.store(reading.chip, std::memory_order_release);
+    }
+    const double delay = chaos_delay_ms_[reading.chip]->load(kRelaxed);
+    if (delay > 0) sleep_ms(delay);
+    decide_one(reading,
+               precomputed[index].size() ? &precomputed[index] : nullptr);
+    shard.current_chip.store(kNoChip, std::memory_order_release);
+    shard.handled.fetch_add(1, kRelaxed);
+  }
+  std::lock_guard<std::mutex> lock(shard.inflight_mutex);
+  if (!shard.inflight_stolen) {
+    shard.inflight.clear();
+    shard.inflight_pos = 0;
+  }
+}
+
+void MonitorFleet::decide_one(const Reading& reading,
+                              const linalg::Vector* precomputed) {
+  ChipDomain& domain = *chips_[reading.chip];
+  ChipDomain::Outcome outcome = domain.process(reading, precomputed);
+  processed_.fetch_add(1, kRelaxed);
+  if (outcome.accepted && outcome.alarm_transition) {
+    AlarmEvent event;
+    event.chip = reading.chip;
+    event.sequence = reading.sequence;
+    event.asserted = outcome.decision.alarm;
+    event.worst_voltage = outcome.decision.worst_voltage;
+    event.worst_row = outcome.decision.worst_row;
+    event.latency_ms = now_ms() - reading.ingest_ms;
+    {
+      std::lock_guard<std::mutex> lock(alarm_mutex_);
+      alarms_.push_back(event);
+    }
+    alarm_events_.fetch_add(1, kRelaxed);
+  }
+}
+
+void MonitorFleet::compute_batch_predictions(
+    const std::vector<Reading>& batch,
+    std::vector<linalg::Vector>& precomputed) {
+  // Group eligible readings by shared model: one Q x B blocked matmul per
+  // model instead of B matvecs. Eligible = chip opted into batching, is on
+  // the healthy fast path, and the reading is well-formed — anything else
+  // falls back to the per-sample path inside the monitor, so a wrong
+  // grouping guess can cost a wasted column but never change a decision.
+  std::map<const core::PlacementModel*, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Reading& r = batch[i];
+    const ChipDomain& domain = *chips_[r.chip];
+    if (!domain.batchable()) continue;
+    if (r.values.size() != domain.sensors()) continue;
+    bool finite = true;
+    for (std::size_t q = 0; q < r.values.size() && finite; ++q)
+      finite = std::isfinite(r.values[q]);
+    if (!finite) continue;
+    groups[domain.shared_model()].push_back(i);
+  }
+  for (const auto& [model, indices] : groups) {
+    if (indices.size() < 2) continue;  // matvec already optimal for one
+    const std::size_t q_count = model->sensor_rows().size();
+    linalg::Matrix readings(q_count, indices.size());
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      const linalg::Vector& values = batch[indices[j]].values;
+      for (std::size_t q = 0; q < q_count; ++q) readings(q, j) = values[q];
+    }
+    const linalg::Matrix predictions =
+        model->predict_from_sensor_readings_batch(readings);
+    for (std::size_t j = 0; j < indices.size(); ++j)
+      precomputed[indices[j]] = predictions.col(j);
+  }
+}
+
+void MonitorFleet::watchdog_loop() {
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    sleep_ms(config_.watchdog_period_ms);
+    const double now = now_ms();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& shard = *shards_[i];
+      const std::uint64_t handled = shard.handled.load(kRelaxed);
+      std::size_t backlog = 0;
+      {
+        std::lock_guard<std::mutex> route(shard.route_mutex);
+        backlog = shard.queue->size();
+      }
+      {
+        std::lock_guard<std::mutex> lock(shard.inflight_mutex);
+        if (!shard.inflight_stolen)
+          backlog += shard.inflight.size() - shard.inflight_pos;
+      }
+      if (handled != shard.last_handled || backlog == 0) {
+        shard.last_handled = handled;
+        shard.stalled_since_ms = -1.0;
+        continue;
+      }
+      if (shard.stalled_since_ms < 0) {
+        shard.stalled_since_ms = now;
+        continue;
+      }
+      if (now - shard.stalled_since_ms >= config_.stall_timeout_ms) {
+        fail_over(i);
+        shard.stalled_since_ms = -1.0;
+        shard.last_handled = shard.handled.load(kRelaxed);
+      }
+    }
+  }
+}
+
+void MonitorFleet::fail_over(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+
+  // 1. Steal the un-decided remainder of the inflight batch and identify
+  //    the chip the stuck worker is buried in.
+  std::vector<Reading> stolen;
+  ChipId culprit = kNoChip;
+  {
+    std::lock_guard<std::mutex> lock(shard.inflight_mutex);
+    if (shard.inflight_stolen) return;  // failover already in flight
+    for (std::size_t j = shard.inflight_pos; j < shard.inflight.size(); ++j)
+      stolen.push_back(std::move(shard.inflight[j]));
+    shard.inflight_stolen = true;
+    culprit = shard.current_chip.load(std::memory_order_acquire);
+  }
+
+  // 2. Poison-pill the culprit so the replacement worker cannot be wedged
+  //    by the same chip. The stuck worker only ever touches this chip's
+  //    monitor from here on, and only to be told "suspended" — the domain
+  //    boundary is what makes the concurrent handoff safe.
+  if (culprit != kNoChip) chips_[culprit]->suspend();
+
+  // 3. Swap in a fresh queue pre-filled with the stolen remainder followed
+  //    by the old queue's backlog, original order preserved. Producers are
+  //    held out by route_mutex for the duration, so nothing lands in the
+  //    retiring queue. force_push: these readings were admitted once; a
+  //    failover must not re-shed them.
+  auto fresh = std::make_unique<BoundedQueue<Reading>>(config_.queue_capacity);
+  std::unique_ptr<BoundedQueue<Reading>> old;
+  {
+    std::lock_guard<std::mutex> route(shard.route_mutex);
+    old = std::move(shard.queue);
+    shard.queue = std::move(fresh);
+    for (auto& reading : stolen) shard.queue->force_push(std::move(reading));
+    for (auto& reading : old->drain())
+      shard.queue->force_push(std::move(reading));
+  }
+  // 4. Close the old queue: when the stuck worker finally wakes it finds
+  //    its batch stolen and its queue closed-and-empty, and exits. Both the
+  //    thread and its queue are parked for stop() to reap.
+  old->close();
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex);
+    retired_workers_.push_back(std::move(shard.worker));
+    retired_queues_.push_back(std::move(old));
+  }
+  // 5. Replacement worker on the fresh queue.
+  BoundedQueue<Reading>* queue = shard.queue.get();
+  shard.worker = std::thread([this, &shard, queue] {
+    worker_loop(shard, queue);
+  });
+  stall_failovers_.fetch_add(1, kRelaxed);
+}
+
+std::vector<AlarmEvent> MonitorFleet::drain_alarms() {
+  std::lock_guard<std::mutex> lock(alarm_mutex_);
+  std::vector<AlarmEvent> out;
+  out.swap(alarms_);
+  return out;
+}
+
+FleetStats MonitorFleet::stats() const {
+  FleetStats s;
+  s.ingested = ingested_.load(kRelaxed);
+  s.enqueued = enqueued_.load(kRelaxed);
+  s.shed = shed_.load(kRelaxed);
+  s.processed = processed_.load(kRelaxed);
+  s.alarm_events = alarm_events_.load(kRelaxed);
+  s.stall_failovers = stall_failovers_.load(kRelaxed);
+  for (const auto& chip : chips_) {
+    const ChipMode mode = chip->mode();
+    if (mode == ChipMode::kQuarantined) ++s.chips_quarantined;
+    if (mode == ChipMode::kSuspended) ++s.chips_suspended;
+  }
+  return s;
+}
+
+ChipStats MonitorFleet::chip_stats(ChipId chip) const {
+  VMAP_REQUIRE(chip < chips_.size(), "unknown chip id");
+  return chips_[chip]->stats();
+}
+
+ChipMode MonitorFleet::chip_mode(ChipId chip) const {
+  VMAP_REQUIRE(chip < chips_.size(), "unknown chip id");
+  return chips_[chip]->mode();
+}
+
+void MonitorFleet::suspend_chip(ChipId chip) {
+  VMAP_REQUIRE(chip < chips_.size(), "unknown chip id");
+  chips_[chip]->suspend();
+}
+
+void MonitorFleet::resume_chip(ChipId chip) {
+  VMAP_REQUIRE(chip < chips_.size(), "unknown chip id");
+  chips_[chip]->resume();
+}
+
+void MonitorFleet::set_chaos_delay_ms(ChipId chip, double delay_ms) {
+  VMAP_REQUIRE(chip < chips_.size(), "unknown chip id");
+  chaos_delay_ms_[chip]->store(delay_ms, kRelaxed);
+}
+
+std::vector<ChipDomain::PersistedState> MonitorFleet::persisted_states()
+    const {
+  std::vector<ChipDomain::PersistedState> states;
+  states.reserve(chips_.size());
+  for (const auto& chip : chips_) states.push_back(chip->persisted_state());
+  return states;
+}
+
+Status MonitorFleet::restore_states(
+    const std::vector<ChipDomain::PersistedState>& states) {
+  if (states.size() != chips_.size())
+    return Status::InvalidArgument(
+        "checkpoint carries " + std::to_string(states.size()) +
+        " chips, fleet has " + std::to_string(chips_.size()));
+  for (std::size_t i = 0; i < chips_.size(); ++i) {
+    const Status st = chips_[i]->restore(states[i]);
+    if (!st.ok())
+      return Status(st.code(),
+                    "chip " + std::to_string(i) + ": " + st.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace vmap::serve

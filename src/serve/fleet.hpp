@@ -1,0 +1,170 @@
+#pragma once
+// MonitorFleet: the multi-chip serving engine.
+//
+// Registers N chips (each its own ChipDomain fault domain), ingests sensor
+// readings through bounded per-shard queues, and decides them in
+// micro-batches — same-model healthy chips are grouped so their OLS
+// predictions run through the blocked matmul kernels in one call
+// (bit-identical to the per-sample path; see
+// PlacementModel::predict_from_sensor_readings_batch). Alarm transitions are
+// appended to an in-process sink with their ingest-to-decision latency.
+//
+// Two execution modes share the same decision path:
+//
+//  * pump() — deterministic: the caller drains every shard on the global
+//    thread pool (one parallel task per shard) and returns when all queued
+//    readings are decided. This is the mode tests and the bit-identity
+//    harness use.
+//  * start()/stop() — threaded: one worker thread per shard plus a watchdog.
+//    The watchdog declares a shard stalled when its backlog stops advancing
+//    for stall_timeout_ms, then fails it over: the inflight batch remainder
+//    is stolen, the chip being processed is suspended (poison pill), the
+//    shard gets a fresh queue pre-filled with the stolen + drained backlog
+//    in original order, and a replacement worker takes over. The stalled
+//    worker, once it wakes, discovers its batch was stolen and its queue
+//    closed, and exits; stop() joins it. No admitted reading is ever
+//    silently lost — every one is decided, or dropped with a per-chip
+//    counter naming why.
+//
+// Overload: try_push against a full shard queue sheds the newest reading
+// (counted per chip and fleet-wide, reported to the caller as kShed).
+// Shutdown: stop() closes the queues and drains what was admitted before
+// joining — close() never discards pending items.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/online_monitor.hpp"
+#include "core/pipeline.hpp"
+#include "serve/bounded_queue.hpp"
+#include "serve/chip_domain.hpp"
+#include "serve/types.hpp"
+#include "util/status.hpp"
+
+namespace vmap::serve {
+
+class MonitorFleet {
+ public:
+  explicit MonitorFleet(FleetConfig config = {});
+  ~MonitorFleet();
+  MonitorFleet(const MonitorFleet&) = delete;
+  MonitorFleet& operator=(const MonitorFleet&) = delete;
+
+  /// Registers a chip; returns its dense id. Pass the PlacementModel the
+  /// monitor was built from as `shared_model` to let the fleet micro-batch
+  /// this chip's healthy-path predictions with same-model peers (typical
+  /// fleets monitor many dies of one design). Only valid while not running.
+  ChipId add_chip(core::OnlineMonitor monitor,
+                  std::shared_ptr<const core::PlacementModel> shared_model =
+                      nullptr);
+  std::size_t num_chips() const { return chips_.size(); }
+
+  /// Admission: stamps the ingest time, routes to the owning shard, applies
+  /// the overload shed policy. The decision itself happens later on the
+  /// shard (pump() or a worker thread).
+  IngestResult ingest(Reading reading);
+
+  /// Deterministic mode: decides everything currently queued, one parallel
+  /// task per shard on the global pool. Not concurrent with start().
+  /// Returns the number of readings handled.
+  std::size_t pump();
+
+  /// Threaded mode: spawns one worker per shard plus the watchdog.
+  void start();
+  /// Closes the queues, drains what was admitted, joins every worker (and
+  /// every failed-over worker). Idempotent.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Removes and returns all alarm transitions recorded since the last
+  /// drain, in decision order per shard.
+  std::vector<AlarmEvent> drain_alarms();
+
+  FleetStats stats() const;
+  ChipStats chip_stats(ChipId chip) const;
+  ChipMode chip_mode(ChipId chip) const;
+  void suspend_chip(ChipId chip);
+  void resume_chip(ChipId chip);
+
+  /// Chaos hook: every reading for `chip` sleeps this long before being
+  /// decided. A large delay turns the owning shard into a stall (the
+  /// watchdog's failover scenario); small ones model slow feeds.
+  void set_chaos_delay_ms(ChipId chip, double delay_ms);
+
+  const FleetConfig& config() const { return config_; }
+
+  /// Checkpoint support: per-chip persisted state, chip order == chip id.
+  /// Only call while idle (not running, or between pump() calls).
+  std::vector<ChipDomain::PersistedState> persisted_states() const;
+  /// Restores persisted_states() onto an identically-built fleet (same
+  /// chips in the same order). InvalidArgument on a count mismatch; any
+  /// per-chip shape mismatch aborts the restore with that chip's status.
+  Status restore_states(
+      const std::vector<ChipDomain::PersistedState>& states);
+
+ private:
+  /// One ingestion/decision lane. The queue pointer is swapped at failover;
+  /// route_mutex makes the swap invisible to producers (nothing is pushed
+  /// into a queue that is being retired).
+  struct Shard {
+    std::unique_ptr<BoundedQueue<Reading>> queue;
+    std::mutex route_mutex;  ///< guards `queue` (producers + failover)
+    /// Items handled since start; the watchdog's liveness signal.
+    std::atomic<std::uint64_t> handled{0};
+    /// Inflight micro-batch, shared with the watchdog for theft.
+    std::mutex inflight_mutex;
+    std::vector<Reading> inflight;
+    std::size_t inflight_pos = 0;
+    bool inflight_stolen = false;
+    std::atomic<ChipId> current_chip{kNoChip};
+    std::thread worker;
+    // Watchdog bookkeeping (watchdog-thread-owned).
+    std::uint64_t last_handled = 0;
+    double stalled_since_ms = -1.0;
+  };
+
+  void worker_loop(Shard& shard, BoundedQueue<Reading>* queue);
+  /// Decides one batch. `publish` shares it through the shard's inflight
+  /// slot so the watchdog can steal the remainder (threaded mode only).
+  void execute_batch(Shard& shard, std::vector<Reading> batch, bool publish);
+  void decide_one(const Reading& reading, const linalg::Vector* precomputed);
+  /// Fills `precomputed[i]` for every batch item eligible for the grouped
+  /// blocked-matmul prediction path; others stay empty.
+  void compute_batch_predictions(const std::vector<Reading>& batch,
+                                 std::vector<linalg::Vector>& precomputed);
+  void watchdog_loop();
+  void fail_over(std::size_t shard_index);
+  std::size_t shard_of(ChipId chip) const {
+    return static_cast<std::size_t>(chip) % shards_.size();
+  }
+
+  FleetConfig config_;
+  std::vector<std::unique_ptr<ChipDomain>> chips_;
+  std::vector<std::unique_ptr<std::atomic<double>>> chaos_delay_ms_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> watchdog_stop_{false};
+  std::thread watchdog_;
+  /// Failed-over workers and their retired queues; joined/freed in stop().
+  std::mutex retired_mutex;
+  std::vector<std::thread> retired_workers_;
+  std::vector<std::unique_ptr<BoundedQueue<Reading>>> retired_queues_;
+
+  std::mutex alarm_mutex_;
+  std::vector<AlarmEvent> alarms_;
+
+  std::atomic<std::uint64_t> ingested_{0};
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> alarm_events_{0};
+  std::atomic<std::uint64_t> stall_failovers_{0};
+};
+
+}  // namespace vmap::serve

@@ -1,0 +1,98 @@
+#include "serve/synthetic.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace vmap::serve {
+
+namespace {
+
+/// Mixes (seed, chip, t) into one RNG seed — the random-access property the
+/// replay harness depends on.
+std::uint64_t stream_seed(std::uint64_t seed, ChipId chip, std::uint64_t t) {
+  std::uint64_t h = fnv1a64(&seed, sizeof(seed));
+  h = fnv1a64(&chip, sizeof(chip), h);
+  h = fnv1a64(&t, sizeof(t), h);
+  return h;
+}
+
+}  // namespace
+
+std::shared_ptr<const core::PlacementModel> make_synthetic_model(
+    const SyntheticFleetSpec& spec) {
+  Rng rng(spec.seed);
+  core::CoreModel core;
+  core.core = 0;
+  for (std::size_t q = 0; q < spec.sensors; ++q) {
+    core.candidate_rows.push_back(q);
+    core.selected_rows.push_back(q);
+  }
+  for (std::size_t k = 0; k < spec.blocks; ++k) core.block_rows.push_back(k);
+  core.group_norms = linalg::Vector(spec.sensors, 1.0);
+  // Each monitored row is a normalized positive blend of the sensors: the
+  // prediction sits at the supply level the sensors report, so a droop in
+  // the stream is a droop in the prediction.
+  core.alpha = linalg::Matrix(spec.blocks, spec.sensors);
+  core.intercept = linalg::Vector(spec.blocks);
+  for (std::size_t k = 0; k < spec.blocks; ++k) {
+    double sum = 0.0;
+    for (std::size_t q = 0; q < spec.sensors; ++q) {
+      const double w = rng.uniform(0.5, 1.5);
+      core.alpha(k, q) = w;
+      sum += w;
+    }
+    for (std::size_t q = 0; q < spec.sensors; ++q) core.alpha(k, q) /= sum;
+    core.intercept[k] = rng.uniform(-0.005, 0.005);
+  }
+  std::vector<std::size_t> sensor_nodes;
+  for (std::size_t q = 0; q < spec.sensors; ++q) sensor_nodes.push_back(q);
+  return std::make_shared<const core::PlacementModel>(
+      std::vector<core::CoreModel>{std::move(core)}, std::move(sensor_nodes),
+      spec.blocks);
+}
+
+linalg::Matrix synthetic_training_readings(const SyntheticFleetSpec& spec) {
+  Rng rng(spec.seed ^ 0x7261696e696e67ULL);  // "raining" — train stream
+  linalg::Matrix x(spec.sensors, spec.train_samples);
+  for (std::size_t s = 0; s < spec.train_samples; ++s) {
+    const double common = rng.normal(0.0, 0.01);
+    for (std::size_t q = 0; q < spec.sensors; ++q)
+      x(q, s) = spec.nominal_v + common + rng.normal(0.0, 0.002);
+  }
+  return x;
+}
+
+linalg::Vector synthetic_reading(const SyntheticFleetSpec& spec, ChipId chip,
+                                 std::uint64_t t) {
+  Rng rng(stream_seed(spec.seed, chip, t));
+  const bool droop = spec.droop_period > 0 &&
+                     (t % spec.droop_period) < spec.droop_length;
+  const double level =
+      spec.nominal_v - (droop ? spec.droop_depth : 0.0) + rng.normal(0.0, 0.01);
+  linalg::Vector r(spec.sensors);
+  for (std::size_t q = 0; q < spec.sensors; ++q)
+    r[q] = level + rng.normal(0.0, 0.002);
+  return r;
+}
+
+core::OnlineMonitor make_synthetic_monitor(
+    const SyntheticFleetSpec& spec,
+    const std::shared_ptr<const core::PlacementModel>& model,
+    bool fault_tolerant) {
+  core::OnlineMonitorConfig mc;
+  mc.emergency_threshold = spec.emergency_threshold;
+  mc.alarm_consecutive = spec.alarm_consecutive;
+  mc.release_consecutive = spec.release_consecutive;
+  if (!fault_tolerant) return core::OnlineMonitor(*model, mc);
+  const linalg::Matrix x_train = synthetic_training_readings(spec);
+  const linalg::Matrix f_train = model->predict(x_train);
+  core::SensorFaultDetector detector(x_train, {});
+  core::DegradedModelBank bank(*model, x_train, f_train);
+  return core::OnlineMonitor(*model, mc, std::move(detector),
+                             std::move(bank));
+}
+
+}  // namespace vmap::serve

@@ -1,0 +1,68 @@
+#pragma once
+// Deterministic synthetic chips for the serving layer's tests and chaos
+// harness.
+//
+// The serving engine's correctness arguments (bit-identity, zero alarm
+// loss) rest on replay: a scenario's reading stream must be regenerable
+// sample-for-sample so an independent reference monitor can re-decide the
+// exact subsequence the fleet accepted. Everything here is therefore a pure
+// function of (spec.seed, chip, t) — random access, no hidden stream state —
+// and the model itself is built directly from seeded coefficients, skipping
+// the full PDN-simulation + group-lasso pipeline that the serving tests do
+// not exercise.
+//
+// The stream shape mimics the monitor's real duty: readings hover near the
+// nominal supply with a shared common-mode wiggle (so the cross-prediction
+// fault detector stays quiet on clean data), and periodic droop windows
+// pull every sensor below the emergency threshold long enough to beat the
+// alarm debounce.
+
+#include <cstdint>
+#include <memory>
+
+#include "core/degraded_model.hpp"
+#include "core/fault_detector.hpp"
+#include "core/online_monitor.hpp"
+#include "core/pipeline.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "serve/types.hpp"
+
+namespace vmap::serve {
+
+struct SyntheticFleetSpec {
+  std::size_t sensors = 6;        ///< Q placed sensors
+  std::size_t blocks = 8;         ///< K monitored block rows
+  std::size_t train_samples = 256;
+  double nominal_v = 0.95;        ///< clean supply level (V)
+  double droop_depth = 0.12;      ///< droop excursion (V); crosses threshold
+  double emergency_threshold = 0.85;
+  std::size_t droop_period = 97;  ///< samples between droop-window starts
+  std::size_t droop_length = 6;   ///< samples per droop window
+  std::size_t alarm_consecutive = 2;
+  std::size_t release_consecutive = 3;
+  std::uint64_t seed = 42;
+};
+
+/// Single-core placement model over `sensors` sensors and `blocks` rows;
+/// each row predicts a seeded convex-ish combination of the sensors, so
+/// predictions track the supply level the stream encodes.
+std::shared_ptr<const core::PlacementModel> make_synthetic_model(
+    const SyntheticFleetSpec& spec);
+
+/// Q x train_samples clean training readings (common mode + idiosyncratic
+/// noise) — what the fault detector and degraded bank train on.
+linalg::Matrix synthetic_training_readings(const SyntheticFleetSpec& spec);
+
+/// Reading `t` of chip `chip`: deterministic, randomly accessible.
+linalg::Vector synthetic_reading(const SyntheticFleetSpec& spec, ChipId chip,
+                                 std::uint64_t t);
+
+/// A monitor over make_synthetic_model(spec). `fault_tolerant` adds a
+/// detector + degraded bank trained on synthetic_training_readings(spec).
+core::OnlineMonitor make_synthetic_monitor(
+    const SyntheticFleetSpec& spec,
+    const std::shared_ptr<const core::PlacementModel>& model,
+    bool fault_tolerant);
+
+}  // namespace vmap::serve

@@ -8,6 +8,8 @@
 #include <memory>
 #include <mutex>
 
+#include "util/log.hpp"
+
 namespace vmap::metrics {
 
 namespace {
@@ -17,10 +19,23 @@ std::atomic<int> g_enabled{-1};
 
 bool init_from_env() {
   const char* env = std::getenv("VMAP_METRICS");
-  const int on = (env && env[0] == '0' && env[1] == '\0') ? 0 : 1;
+  int on = 1;
+  bool recognized = true;
+  if (env && *env) {
+    const std::string v(env);
+    if (v == "0" || v == "off" || v == "false")
+      on = 0;
+    else if (v != "1" && v != "on" && v != "true")
+      recognized = false;  // junk value: keep the default (on), warn below
+  }
   int expected = -1;
-  g_enabled.compare_exchange_strong(expected, on,
-                                    std::memory_order_relaxed);
+  if (g_enabled.compare_exchange_strong(expected, on,
+                                        std::memory_order_relaxed) &&
+      !recognized) {
+    // Warn exactly once, from the thread that won initialization.
+    VMAP_LOG(kWarn) << "VMAP_METRICS='" << env
+                    << "' is not 0/1/on/off; metrics stay enabled";
+  }
   return g_enabled.load(std::memory_order_relaxed) == 1;
 }
 

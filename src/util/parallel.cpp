@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -9,6 +10,7 @@
 #include <mutex>
 #include <thread>
 
+#include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -25,14 +27,23 @@ thread_local int t_worker_index = -1;
 constexpr std::size_t kMaxThreads = 256;
 
 std::size_t default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t fallback = hw ? std::min<std::size_t>(hw, kMaxThreads) : 1;
   if (const char* env = std::getenv("VMAP_THREADS"); env && *env) {
     char* end = nullptr;
+    errno = 0;
     const long v = std::strtol(env, &end, 10);
-    if (end && *end == '\0' && v >= 1)
+    if (errno == 0 && end && *end == '\0' && v >= 1)
       return std::min<std::size_t>(static_cast<std::size_t>(v), kMaxThreads);
+    // Non-numeric, negative, zero, or overflowing values must not silently
+    // misconfigure the pool; say so once and use the hardware default.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+      VMAP_LOG(kWarn) << "VMAP_THREADS='" << env
+                      << "' is not a positive integer; falling back to "
+                      << fallback << " thread(s)";
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw ? std::min<std::size_t>(hw, kMaxThreads) : 1;
+  return fallback;
 }
 
 /// One parallel_for invocation. Heap-held via shared_ptr so a worker that

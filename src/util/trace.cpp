@@ -8,6 +8,7 @@
 #include <mutex>
 #include <utility>
 
+#include "util/log.hpp"
 #include "util/parallel.hpp"
 
 namespace vmap {
@@ -52,6 +53,18 @@ bool init_from_env() {
   if (expected >= 0) return expected == 1;  // raced with another initializer
   const char* env = std::getenv("VMAP_TRACE");
   if (env && *env) {
+    // Probe the path now rather than discovering at exit-time flush that a
+    // whole run's trace is unwritable (mistyped directory, read-only mount).
+    // The probe may create an empty file; a successful flush overwrites it.
+    {
+      std::ofstream probe(env, std::ios::app);
+      if (!probe) {
+        VMAP_LOG(kWarn) << "VMAP_TRACE='" << env
+                        << "' is not writable; tracing disabled";
+        g_state.store(0, std::memory_order_release);
+        return false;
+      }
+    }
     state()->path = env;
     state()->epoch = std::chrono::steady_clock::now();
     if (!state()->atexit_registered) {

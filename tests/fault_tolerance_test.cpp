@@ -361,18 +361,58 @@ TEST_F(FaultToleranceTest, MonitorRejectsMalformedReadings) {
   mc.emergency_threshold = setup_->data.emergency_threshold;
   OnlineMonitor monitor(*model_, mc);
 
+  // A size mismatch is a caller bug (the wiring between feed and monitor is
+  // wrong), so it stays a contract violation.
   linalg::Vector wrong_size(model_->sensor_rows().size() + 1, 0.9);
   EXPECT_THROW(monitor.observe(wrong_size), vmap::ContractError);
 
+  // Non-finite readings are a data fault, not a caller bug: a plain monitor
+  // (no fallback bank) refuses the sample with a Status instead of
+  // aborting, and its alarm/debounce state holds.
   linalg::Vector with_nan = readings_at(0);
   with_nan[0] = std::numeric_limits<double>::quiet_NaN();
-  EXPECT_THROW(monitor.observe(with_nan), vmap::ContractError);
+  const auto nan_decision = monitor.observe(with_nan);
+  EXPECT_TRUE(nan_decision.rejected);
+  EXPECT_FALSE(nan_decision.status.ok());
+  EXPECT_EQ(nan_decision.status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(nan_decision.invalid_readings, 1u);
+  EXPECT_FALSE(nan_decision.alarm);
 
   linalg::Vector with_inf = readings_at(0);
   with_inf[0] = std::numeric_limits<double>::infinity();
-  EXPECT_THROW(monitor.observe(with_inf), vmap::ContractError);
+  const auto inf_decision = monitor.observe(with_inf);
+  EXPECT_TRUE(inf_decision.rejected);
+  EXPECT_EQ(inf_decision.status.code(), ErrorCode::kInvalidArgument);
 
   EXPECT_EQ(monitor.samples(), 0u);  // rejected samples are not counted
+  EXPECT_EQ(monitor.rejected_samples(), 2u);  // but they are accounted
+
+  // The monitor still works after refusing bad feeds.
+  const auto ok_decision = monitor.observe(readings_at(0));
+  EXPECT_FALSE(ok_decision.rejected);
+  EXPECT_EQ(monitor.samples(), 1u);
+}
+
+TEST_F(FaultToleranceTest, FaultTolerantMonitorAbsorbsNonFiniteReadings) {
+  const linalg::Matrix x_train =
+      data_->x_train.select_rows(model_->sensor_rows());
+  DegradedModelBank bank(*model_, data_->x_train, data_->f_train);
+  OnlineMonitorConfig mc;
+  mc.emergency_threshold = setup_->data.emergency_threshold;
+  OnlineMonitor monitor(*model_, mc, SensorFaultDetector(x_train, {}),
+                        std::move(bank));
+
+  // A partially non-finite reading routes through the fallback bank with
+  // the poisoned sensor masked out — degraded, not rejected, not fatal.
+  linalg::Vector with_nan = readings_at(0);
+  with_nan[0] = std::numeric_limits<double>::quiet_NaN();
+  const auto decision = monitor.observe(with_nan);
+  EXPECT_FALSE(decision.rejected);
+  EXPECT_TRUE(decision.degraded);
+  EXPECT_EQ(decision.invalid_readings, 1u);
+  for (std::size_t k = 0; k < decision.predicted.size(); ++k)
+    EXPECT_TRUE(std::isfinite(decision.predicted[k])) << "row " << k;
+  EXPECT_EQ(monitor.samples(), 1u);
 }
 
 TEST_F(FaultToleranceTest, MonitorSwapsToFallbackAndCountsEpisodes) {

@@ -12,6 +12,11 @@
 #       resilience tests — the fast gate for changes to the fallback
 #       ladders, cache integrity checks, or Status plumbing. (The default
 #       asan mode also covers these as part of the full suite.)
+#   tools/check_sanitize.sh chaos [build-dir]     (default dir build-tsan):
+#       ThreadSanitizer over the serving layer: the serve unit/integration
+#       tests plus the serving_suite chaos harness with every --inject
+#       scenario. Gates zero alarm loss AND zero data races across the
+#       watchdog failover, overload shed, and checkpoint kill paths.
 #
 # Any sanitizer report fails the run (halt_on_error / abort flags).
 set -euo pipefail
@@ -19,7 +24,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="asan"
-if [[ $# -ge 1 && ( "$1" == "asan" || "$1" == "tsan" || "$1" == "resilience" ) ]]; then
+if [[ $# -ge 1 && ( "$1" == "asan" || "$1" == "tsan" || "$1" == "resilience" || "$1" == "chaos" ) ]]; then
   MODE="$1"
   shift
 fi
@@ -36,6 +41,21 @@ if [[ "$MODE" == "tsan" ]]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
     -R 'parallel_test|dataset_pipeline_test'
   echo "thread-sanitize check passed (${BUILD_DIR})"
+elif [[ "$MODE" == "chaos" ]]; then
+  BUILD_DIR="${1:-build-tsan}"
+  cmake -B "$BUILD_DIR" -S . -DVMAP_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_DIR" -j"$(nproc)" \
+    --target serve_test serve_fleet_test serving_suite
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'serve_test|serve_fleet_test'
+  # The chaos harness under TSan: a smaller throughput load (TSan is ~10x),
+  # every injection scenario. Exit 1 = an invariant broke (alarm loss,
+  # decision divergence); a TSan report aborts via halt_on_error.
+  "$BUILD_DIR"/bench/serving_suite --threads-list 2,4 --chips 8 \
+    --samples 400 --inject all
+  echo "chaos sanitize check passed (${BUILD_DIR})"
 elif [[ "$MODE" == "resilience" ]]; then
   BUILD_DIR="${1:-build-sanitize}"
   cmake -B "$BUILD_DIR" -S . -DVMAP_SANITIZE=address,undefined \
