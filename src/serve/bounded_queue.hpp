@@ -54,6 +54,23 @@ class BoundedQueue {
     return true;
   }
 
+  /// Failover re-route: prepends already-admitted items *ahead* of
+  /// everything queued, preserving their order. A worker that loses its
+  /// shard between popping a batch and publishing it hands the batch back
+  /// through this — the items predate the queued backlog, and appending
+  /// them instead would make the per-chip sequence check reject them as
+  /// stale replays. Admits beyond capacity; only a closed queue refuses.
+  bool force_push_front(std::vector<T> items) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.insert(items_.begin(), std::make_move_iterator(items.begin()),
+                    std::make_move_iterator(items.end()));
+    }
+    ready_.notify_all();
+    return true;
+  }
+
   /// Pops up to `max_items` into `out` (appended), waiting up to `wait` for
   /// the first item. Returns the number popped; 0 after a timeout or when
   /// the queue is closed and empty.

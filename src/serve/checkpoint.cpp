@@ -82,13 +82,23 @@ void write_size_vector(std::ostream& out, const std::vector<std::size_t>& v) {
   for (std::size_t x : v) write_u64(out, x);
 }
 
-std::vector<std::size_t> read_size_vector(std::istream& in) {
+// The element count is bounded by the enclosing payload size before the
+// reserve: the section checksum is FNV-1a (not collision/forgery
+// resistant), so a checksum-valid but malformed count must surface as a
+// Corruption Status, never as a std::length_error/bad_alloc escaping the
+// load path.
+Status read_size_vector(std::istream& in, std::uint64_t max_count,
+                        const std::string& path,
+                        std::vector<std::size_t>& v) {
   const std::uint64_t n = read_u64(in);
-  std::vector<std::size_t> v;
+  if (n > max_count)
+    return Status::Corruption("fleet checkpoint chip section malformed: " +
+                              path);
+  v.clear();
   v.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i)
     v.push_back(static_cast<std::size_t>(read_u64(in)));
-  return v;
+  return Status::Ok();
 }
 
 std::string serialize_chip(const ChipDomain::PersistedState& p) {
@@ -164,8 +174,10 @@ Status deserialize_chip(const std::string& payload, const std::string& path,
     p.detector.health.push_back(read_u64(s) != 0
                                     ? core::SensorHealth::kFaulty
                                     : core::SensorHealth::kHealthy);
-  p.detector.out_streak = read_size_vector(s);
-  p.detector.in_streak = read_size_vector(s);
+  Status st = read_size_vector(s, payload.size(), path, p.detector.out_streak);
+  if (!st.ok()) return st;
+  st = read_size_vector(s, payload.size(), path, p.detector.in_streak);
+  if (!st.ok()) return st;
   if (!payload_consumed(s))
     return Status::Corruption("fleet checkpoint chip section malformed: " +
                               path);
@@ -209,6 +221,22 @@ Status save_fleet_checkpoint(const MonitorFleet& fleet,
     return Status::Io("cannot move fleet checkpoint into place: " + tmp_path +
                       " -> " + path);
   }
+#if defined(__unix__) || defined(__APPLE__)
+  // The rename itself is only durable once the containing directory's
+  // entry is on disk — fsync it, or a crash right after return can roll
+  // the checkpoint back to the previous (or no) file.
+  {
+    const auto slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : slash == 0 ? "/"
+                                                      : path.substr(0, slash);
+    const int dir_fd = ::open(dir.c_str(), O_RDONLY);
+    if (dir_fd >= 0) {
+      ::fsync(dir_fd);
+      ::close(dir_fd);
+    }
+  }
+#endif
   return Status::Ok();
 }
 

@@ -25,6 +25,65 @@ void sleep_ms(double ms) {
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
+/// One same-model group of batch readings staged for a blocked-matmul
+/// prediction. The values are copied out up front so the (potentially
+/// slow) matmul can run *after* the batch is published to the shard's
+/// inflight slot — i.e. while the watchdog can already steal it — without
+/// ever reading shared state.
+struct PredictionGroup {
+  const core::PlacementModel* model = nullptr;
+  std::vector<std::size_t> indices;  ///< batch positions, column order
+  linalg::Matrix readings;           ///< q_count x indices.size()
+};
+
+std::vector<PredictionGroup> build_prediction_plan(
+    const std::vector<std::unique_ptr<ChipDomain>>& chips,
+    const std::vector<Reading>& batch) {
+  // Group eligible readings by shared model: one Q x B blocked matmul per
+  // model instead of B matvecs. Eligible = chip opted into batching, is on
+  // the healthy fast path, and the reading is well-formed — anything else
+  // falls back to the per-sample path inside the monitor, so a wrong
+  // grouping guess can cost a wasted column but never change a decision.
+  std::map<const core::PlacementModel*, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Reading& r = batch[i];
+    const ChipDomain& domain = *chips[r.chip];
+    if (!domain.batchable()) continue;
+    if (r.values.size() != domain.sensors()) continue;
+    bool finite = true;
+    for (std::size_t q = 0; q < r.values.size() && finite; ++q)
+      finite = std::isfinite(r.values[q]);
+    if (!finite) continue;
+    groups[domain.shared_model()].push_back(i);
+  }
+  std::vector<PredictionGroup> plan;
+  for (auto& [model, indices] : groups) {
+    if (indices.size() < 2) continue;  // matvec already optimal for one
+    PredictionGroup group;
+    group.model = model;
+    const std::size_t q_count = model->sensor_rows().size();
+    group.readings = linalg::Matrix(q_count, indices.size());
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      const linalg::Vector& values = batch[indices[j]].values;
+      for (std::size_t q = 0; q < q_count; ++q)
+        group.readings(q, j) = values[q];
+    }
+    group.indices = std::move(indices);
+    plan.push_back(std::move(group));
+  }
+  return plan;
+}
+
+void run_prediction_plan(const std::vector<PredictionGroup>& plan,
+                         std::vector<linalg::Vector>& precomputed) {
+  for (const PredictionGroup& group : plan) {
+    const linalg::Matrix predictions =
+        group.model->predict_from_sensor_readings_batch(group.readings);
+    for (std::size_t j = 0; j < group.indices.size(); ++j)
+      precomputed[group.indices[j]] = predictions.col(j);
+  }
+}
+
 }  // namespace
 
 MonitorFleet::MonitorFleet(FleetConfig config) : config_(config) {
@@ -92,7 +151,7 @@ std::size_t MonitorFleet::pump() {
             batch, config_.max_batch, std::chrono::milliseconds(0));
         if (n == 0) break;
         handled[i] += n;
-        execute_batch(shard, std::move(batch), /*publish=*/false);
+        execute_batch(shard, std::move(batch), /*publish=*/false, 0);
         batch = std::vector<Reading>();
       }
     });
@@ -112,8 +171,13 @@ void MonitorFleet::start() {
     BoundedQueue<Reading>* queue = shard.queue.get();
     shard.last_handled = shard.handled.load(kRelaxed);
     shard.stalled_since_ms = -1.0;
-    shard.worker = std::thread([this, &shard, queue] {
-      worker_loop(shard, queue);
+    std::uint64_t gen = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.inflight_mutex);
+      gen = shard.generation;
+    }
+    shard.worker = std::thread([this, &shard, queue, gen] {
+      worker_loop(shard, queue, gen);
     });
   }
   watchdog_ = std::thread([this] { watchdog_loop(); });
@@ -123,6 +187,18 @@ void MonitorFleet::stop() {
   if (!running_.exchange(false)) return;
   watchdog_stop_.store(true, std::memory_order_release);
   if (watchdog_.joinable()) watchdog_.join();
+  // Retired (failed-over) workers first, while the live queues are still
+  // open: a retired worker that popped a batch just before losing its
+  // shard hands that batch back to the live queue, and joining it here
+  // guarantees the hand-back lands before the queues close. The watchdog
+  // is already joined, so no new retirements can appear.
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex);
+    for (auto& worker : retired_workers_)
+      if (worker.joinable()) worker.join();
+    retired_workers_.clear();
+    retired_queues_.clear();
+  }
   // Stop admission, then close every queue: close() keeps pending items
   // poppable, so the workers drain everything admitted before exiting.
   accepting_.store(false, std::memory_order_release);
@@ -132,13 +208,6 @@ void MonitorFleet::stop() {
   }
   for (auto& shard : shards_)
     if (shard->worker.joinable()) shard->worker.join();
-  {
-    std::lock_guard<std::mutex> lock(retired_mutex);
-    for (auto& worker : retired_workers_)
-      if (worker.joinable()) worker.join();
-    retired_workers_.clear();
-    retired_queues_.clear();
-  }
   // Fresh queues so the stopped fleet can still be ingested into and
   // pump()ed (tests, checkpoint-then-inspect flows).
   for (auto& shard : shards_) {
@@ -149,7 +218,8 @@ void MonitorFleet::stop() {
   accepting_.store(true, std::memory_order_release);
 }
 
-void MonitorFleet::worker_loop(Shard& shard, BoundedQueue<Reading>* queue) {
+void MonitorFleet::worker_loop(Shard& shard, BoundedQueue<Reading>* queue,
+                               std::uint64_t my_gen) {
   std::vector<Reading> batch;
   for (;;) {
     batch.clear();
@@ -159,17 +229,20 @@ void MonitorFleet::worker_loop(Shard& shard, BoundedQueue<Reading>* queue) {
       if (queue->closed() && queue->size() == 0) return;
       continue;
     }
-    execute_batch(shard, std::move(batch), /*publish=*/true);
+    if (!execute_batch(shard, std::move(batch), /*publish=*/true, my_gen))
+      return;  // the shard failed over; a replacement owns it now
     batch = std::vector<Reading>();
   }
 }
 
-void MonitorFleet::execute_batch(Shard& shard, std::vector<Reading> batch,
-                                 bool publish) {
+bool MonitorFleet::execute_batch(Shard& shard, std::vector<Reading> batch,
+                                 bool publish, std::uint64_t my_gen) {
   std::vector<linalg::Vector> precomputed(batch.size());
-  if (config_.batch_predictions) compute_batch_predictions(batch, precomputed);
+  std::vector<PredictionGroup> plan;
+  if (config_.batch_predictions) plan = build_prediction_plan(chips_, batch);
 
   if (!publish) {
+    run_prediction_plan(plan, precomputed);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const double delay = chaos_delay_ms_[batch[i].chip]->load(kRelaxed);
       if (delay > 0) sleep_ms(delay);
@@ -177,22 +250,41 @@ void MonitorFleet::execute_batch(Shard& shard, std::vector<Reading> batch,
                  precomputed[i].size() ? &precomputed[i] : nullptr);
       shard.handled.fetch_add(1, kRelaxed);
     }
-    return;
+    return true;
   }
 
   // Threaded mode: share the batch through the inflight slot so the
   // watchdog can steal the un-decided remainder if this worker stalls.
+  // Publishing happens *before* the prediction matmuls run (the plan
+  // already copied everything they need), so even a stall inside the
+  // prediction kernels leaves the whole batch stealable.
   {
-    std::lock_guard<std::mutex> lock(shard.inflight_mutex);
+    std::unique_lock<std::mutex> lock(shard.inflight_mutex);
+    if (shard.generation != my_gen) {
+      // The shard failed over between popping this batch and publishing
+      // it, so the steal never saw these readings. Hand them back to the
+      // front of the live queue (they predate its backlog) and retire;
+      // stop() joins retired workers before closing queues, so the
+      // hand-back cannot be refused while anything else is running.
+      lock.unlock();
+      const std::size_t count = batch.size();
+      std::lock_guard<std::mutex> route(shard.route_mutex);
+      if (!shard.queue->force_push_front(std::move(batch)))
+        shed_.fetch_add(count, kRelaxed);  // unreachable by design
+      return false;
+    }
     shard.inflight = std::move(batch);
     shard.inflight_pos = 0;
     shard.inflight_stolen = false;
   }
+  run_prediction_plan(plan, precomputed);
   for (;;) {
     Reading reading;
     std::size_t index = 0;
     {
       std::lock_guard<std::mutex> lock(shard.inflight_mutex);
+      if (shard.generation != my_gen)
+        return false;  // failed over mid-batch: remainder was stolen
       if (shard.inflight_stolen ||
           shard.inflight_pos >= shard.inflight.size())
         break;
@@ -206,14 +298,22 @@ void MonitorFleet::execute_batch(Shard& shard, std::vector<Reading> batch,
     if (delay > 0) sleep_ms(delay);
     decide_one(reading,
                precomputed[index].size() ? &precomputed[index] : nullptr);
-    shard.current_chip.store(kNoChip, std::memory_order_release);
+    // Clear only if still ours: a replacement worker may have published
+    // its own current chip while this (now stalled-and-woken) worker was
+    // finishing its claimed reading.
+    ChipId mine = reading.chip;
+    shard.current_chip.compare_exchange_strong(mine, kNoChip,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed);
     shard.handled.fetch_add(1, kRelaxed);
   }
   std::lock_guard<std::mutex> lock(shard.inflight_mutex);
+  if (shard.generation != my_gen) return false;
   if (!shard.inflight_stolen) {
     shard.inflight.clear();
     shard.inflight_pos = 0;
   }
+  return true;
 }
 
 void MonitorFleet::decide_one(const Reading& reading,
@@ -234,41 +334,6 @@ void MonitorFleet::decide_one(const Reading& reading,
       alarms_.push_back(event);
     }
     alarm_events_.fetch_add(1, kRelaxed);
-  }
-}
-
-void MonitorFleet::compute_batch_predictions(
-    const std::vector<Reading>& batch,
-    std::vector<linalg::Vector>& precomputed) {
-  // Group eligible readings by shared model: one Q x B blocked matmul per
-  // model instead of B matvecs. Eligible = chip opted into batching, is on
-  // the healthy fast path, and the reading is well-formed — anything else
-  // falls back to the per-sample path inside the monitor, so a wrong
-  // grouping guess can cost a wasted column but never change a decision.
-  std::map<const core::PlacementModel*, std::vector<std::size_t>> groups;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const Reading& r = batch[i];
-    const ChipDomain& domain = *chips_[r.chip];
-    if (!domain.batchable()) continue;
-    if (r.values.size() != domain.sensors()) continue;
-    bool finite = true;
-    for (std::size_t q = 0; q < r.values.size() && finite; ++q)
-      finite = std::isfinite(r.values[q]);
-    if (!finite) continue;
-    groups[domain.shared_model()].push_back(i);
-  }
-  for (const auto& [model, indices] : groups) {
-    if (indices.size() < 2) continue;  // matvec already optimal for one
-    const std::size_t q_count = model->sensor_rows().size();
-    linalg::Matrix readings(q_count, indices.size());
-    for (std::size_t j = 0; j < indices.size(); ++j) {
-      const linalg::Vector& values = batch[indices[j]].values;
-      for (std::size_t q = 0; q < q_count; ++q) readings(q, j) = values[q];
-    }
-    const linalg::Matrix predictions =
-        model->predict_from_sensor_readings_batch(readings);
-    for (std::size_t j = 0; j < indices.size(); ++j)
-      precomputed[indices[j]] = predictions.col(j);
   }
 }
 
@@ -314,12 +379,18 @@ void MonitorFleet::fail_over(std::size_t shard_index) {
   //    the chip the stuck worker is buried in.
   std::vector<Reading> stolen;
   ChipId culprit = kNoChip;
+  std::uint64_t new_gen = 0;
   {
     std::lock_guard<std::mutex> lock(shard.inflight_mutex);
     if (shard.inflight_stolen) return;  // failover already in flight
     for (std::size_t j = shard.inflight_pos; j < shard.inflight.size(); ++j)
       stolen.push_back(std::move(shard.inflight[j]));
+    shard.inflight.clear();
+    shard.inflight_pos = 0;
     shard.inflight_stolen = true;
+    // Revoke the old worker's batch ownership: from here on it exits on
+    // its first look at the shard instead of racing the replacement.
+    new_gen = ++shard.generation;
     culprit = shard.current_chip.load(std::memory_order_acquire);
   }
 
@@ -344,19 +415,19 @@ void MonitorFleet::fail_over(std::size_t shard_index) {
     for (auto& reading : old->drain())
       shard.queue->force_push(std::move(reading));
   }
-  // 4. Close the old queue: when the stuck worker finally wakes it finds
-  //    its batch stolen and its queue closed-and-empty, and exits. Both the
-  //    thread and its queue are parked for stop() to reap.
+  // 4. Close the old queue: when the stuck worker finally wakes it sees the
+  //    generation moved past it (or its queue closed-and-empty) and exits.
+  //    Both the thread and its queue are parked for stop() to reap.
   old->close();
   {
     std::lock_guard<std::mutex> lock(retired_mutex);
     retired_workers_.push_back(std::move(shard.worker));
     retired_queues_.push_back(std::move(old));
   }
-  // 5. Replacement worker on the fresh queue.
+  // 5. Replacement worker on the fresh queue, owning the new generation.
   BoundedQueue<Reading>* queue = shard.queue.get();
-  shard.worker = std::thread([this, &shard, queue] {
-    worker_loop(shard, queue);
+  shard.worker = std::thread([this, &shard, queue, new_gen] {
+    worker_loop(shard, queue, new_gen);
   });
   stall_failovers_.fetch_add(1, kRelaxed);
 }

@@ -20,11 +20,18 @@
 //    for stall_timeout_ms, then fails it over: the inflight batch remainder
 //    is stolen, the chip being processed is suspended (poison pill), the
 //    shard gets a fresh queue pre-filled with the stolen + drained backlog
-//    in original order, and a replacement worker takes over. The stalled
-//    worker, once it wakes, discovers its batch was stolen and its queue
-//    closed, and exits; stop() joins it. No admitted reading is ever
-//    silently lost — every one is decided, or dropped with a per-chip
-//    counter naming why.
+//    in original order, and a replacement worker takes over. Batch
+//    ownership is a per-shard generation counter bumped at each failover:
+//    every worker carries the generation it was spawned with, and the
+//    moment the shard's generation moves past it the worker stops touching
+//    the shared inflight slot and exits — so a stalled worker that wakes
+//    while its replacement is mid-batch can never claim the replacement's
+//    items or run a chip's monitor concurrently with it. A batch popped
+//    just before the failover (not yet published, invisible to the steal)
+//    is handed back to the front of the live queue instead of being
+//    decided by the retired worker. No admitted reading is ever silently
+//    lost — every one is decided, or dropped with a per-chip counter
+//    naming why.
 //
 // Overload: try_push against a full shard queue sheds the newest reading
 // (counted per chip and fleet-wide, reported to the caller as kShed).
@@ -120,6 +127,13 @@ class MonitorFleet {
     std::vector<Reading> inflight;
     std::size_t inflight_pos = 0;
     bool inflight_stolen = false;
+    /// Batch-ownership epoch, guarded by inflight_mutex. fail_over() bumps
+    /// it; a worker whose spawn-time generation no longer matches has been
+    /// replaced and must exit without touching the inflight slot. Unlike
+    /// inflight_stolen (reset by the replacement's next publish), this
+    /// never moves backwards, so a late-waking retired worker cannot
+    /// mistake the replacement's batch for its own.
+    std::uint64_t generation = 0;
     std::atomic<ChipId> current_chip{kNoChip};
     std::thread worker;
     // Watchdog bookkeeping (watchdog-thread-owned).
@@ -127,15 +141,18 @@ class MonitorFleet {
     double stalled_since_ms = -1.0;
   };
 
-  void worker_loop(Shard& shard, BoundedQueue<Reading>* queue);
+  /// `my_gen` is the shard generation this worker owns; the loop exits as
+  /// soon as a failover moves the shard past it.
+  void worker_loop(Shard& shard, BoundedQueue<Reading>* queue,
+                   std::uint64_t my_gen);
   /// Decides one batch. `publish` shares it through the shard's inflight
   /// slot so the watchdog can steal the remainder (threaded mode only).
-  void execute_batch(Shard& shard, std::vector<Reading> batch, bool publish);
+  /// Returns false when the shard failed over out from under the caller
+  /// (shard.generation != my_gen): the batch — or its remainder — is now
+  /// the replacement's responsibility and the caller must exit.
+  bool execute_batch(Shard& shard, std::vector<Reading> batch, bool publish,
+                     std::uint64_t my_gen);
   void decide_one(const Reading& reading, const linalg::Vector* precomputed);
-  /// Fills `precomputed[i]` for every batch item eligible for the grouped
-  /// blocked-matmul prediction path; others stay empty.
-  void compute_batch_predictions(const std::vector<Reading>& batch,
-                                 std::vector<linalg::Vector>& precomputed);
   void watchdog_loop();
   void fail_over(std::size_t shard_index);
   std::size_t shard_of(ChipId chip) const {

@@ -257,5 +257,76 @@ TEST(MonitorFleet, WatchdogFailsOverAStalledShardAndSuspendsTheCulprit) {
   EXPECT_EQ(fleet.chip_stats(1).samples, 40u);
 }
 
+TEST(MonitorFleet, WokenStalledWorkerNeverTouchesTheReplacementsBatch) {
+  // Regression for the failover ownership race: the stalled worker used to
+  // rely on the resettable inflight_stolen flag, so if it woke while the
+  // replacement was mid-batch under continuous load it would claim the
+  // replacement's items — indexing its stale precomputed vector out of
+  // bounds and running the same chip's monitor from two threads. With
+  // generation-based ownership the woken worker must exit untouched, so
+  // the survivor chip's stream stays bit-identical to a standalone monitor
+  // even though the staller wakes squarely inside the replacement's run.
+  SyntheticFleetSpec spec;
+  FleetConfig fc;
+  fc.shards = 1;  // both chips share the shard: the load rides behind the stall
+  fc.stall_timeout_ms = 60.0;
+  fc.watchdog_period_ms = 10.0;
+  MonitorFleet fleet(fc);
+  auto model = make_synthetic_model(spec);
+  for (int c = 0; c < 2; ++c)
+    fleet.add_chip(make_synthetic_monitor(spec, model, false), model);
+
+  constexpr std::uint64_t kSamples = 400;
+  // Chip 0 wedges the original worker well past the failover; chip 1's
+  // per-reading delay keeps the replacement mid-batch when the staller
+  // finally wakes (~700ms in, with ~800ms of replacement work queued).
+  fleet.set_chaos_delay_ms(0, 700.0);
+  fleet.set_chaos_delay_ms(1, 2.0);
+  fleet.start();
+  std::uint64_t enqueued = 0;
+  ASSERT_TRUE(
+      fleet.ingest(make_reading(0, 1, synthetic_reading(spec, 0, 1)))
+          .accepted);
+  ++enqueued;
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  for (std::uint64_t t = 1; t <= kSamples; ++t)
+    if (fleet.ingest(make_reading(1, t, synthetic_reading(spec, 1, t)))
+            .accepted)
+      ++enqueued;
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (fleet.stats().processed < enqueued &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  fleet.stop();
+
+  EXPECT_GE(fleet.stats().stall_failovers, 1u);
+  EXPECT_EQ(fleet.chip_mode(0), ChipMode::kSuspended);
+  // Zero loss and zero double-processing across the wake-up.
+  EXPECT_EQ(fleet.stats().processed, enqueued);
+
+  // Chip 1's stream survived the failover in order and untouched by the
+  // woken staller: counters and alarm transitions match the standalone
+  // reference bit-exactly.
+  const ReferenceRun ref = run_reference(spec, 2, kSamples);
+  const auto states = fleet.persisted_states();
+  const auto& got = states[1].monitor;
+  const auto& want = ref.counters[1];
+  EXPECT_EQ(got.samples, want.samples);
+  EXPECT_EQ(got.alarm, want.alarm);
+  EXPECT_EQ(got.crossing_streak, want.crossing_streak);
+  EXPECT_EQ(got.safe_streak, want.safe_streak);
+  EXPECT_EQ(got.alarm_samples, want.alarm_samples);
+  EXPECT_EQ(got.alarm_episodes, want.alarm_episodes);
+  std::vector<std::uint64_t> transitions;
+  for (const AlarmEvent& e : fleet.drain_alarms())
+    if (e.chip == 1) transitions.push_back(e.sequence);
+  const auto it = ref.transitions.find(1);
+  const std::vector<std::uint64_t> want_transitions =
+      it == ref.transitions.end() ? std::vector<std::uint64_t>{} : it->second;
+  EXPECT_EQ(transitions, want_transitions);
+}
+
 }  // namespace
 }  // namespace vmap::serve

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <memory>
@@ -16,6 +17,7 @@
 #include "serve/chip_domain.hpp"
 #include "serve/fleet.hpp"
 #include "serve/synthetic.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
 
@@ -366,6 +368,65 @@ TEST_F(CheckpointTest, CorruptedFilesAreRejectedWithoutSideEffects) {
   EXPECT_EQ(
       load_fleet_checkpoint(*victim, path("does_not_exist.bin")).code(),
       ErrorCode::kIo);
+}
+
+TEST_F(CheckpointTest, ChecksumValidForgedCountIsCorruptionNotBadAlloc) {
+  // FNV-1a is not forgery resistant, so a malformed section can arrive
+  // with a *valid* checksum. Blow up the first chip's out_streak element
+  // count and re-stamp the checksum: the load must surface Corruption
+  // through the Status contract instead of letting the huge reserve throw
+  // std::length_error / std::bad_alloc out of load_fleet_checkpoint.
+  SyntheticFleetSpec spec;
+  auto fleet = build_fleet(spec);
+  std::uint64_t seq = 1;
+  advance(*fleet, seq, spec);
+  const std::string good = path("fleet_ckpt_forge.bin");
+  ASSERT_TRUE(save_fleet_checkpoint(*fleet, good).ok());
+
+  std::ifstream in(good, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  const auto u64_at = [&](std::size_t off) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes.data() + off, sizeof(v));
+    return v;
+  };
+  const auto put_u64 = [&](std::size_t off, std::uint64_t v) {
+    std::memcpy(bytes.data() + off, &v, sizeof(v));
+  };
+
+  // Walk: magic, version, meta section, then chip 0's section header.
+  std::size_t off = 2 * sizeof(std::uint64_t);
+  const std::uint64_t meta_len = u64_at(off + sizeof(std::uint64_t));
+  off += 3 * sizeof(std::uint64_t) + meta_len;  // -> chip 0 section header
+  const std::size_t chip_len_off = off + sizeof(std::uint64_t);
+  const std::size_t chip_sum_off = off + 2 * sizeof(std::uint64_t);
+  const std::size_t payload_off = off + 3 * sizeof(std::uint64_t);
+  const std::uint64_t chip_len = u64_at(chip_len_off);
+
+  // Inside the chip payload: 24 fixed u64 fields, health count + entries,
+  // then the out_streak count we are forging.
+  const std::uint64_t health_count =
+      u64_at(payload_off + 24 * sizeof(std::uint64_t));
+  const std::size_t streak_count_off =
+      payload_off + (25 + health_count) * sizeof(std::uint64_t);
+  put_u64(streak_count_off, 0x0FFFFFFFFFFFFFF0ULL);
+  put_u64(chip_sum_off,
+          fnv1a64(bytes.data() + payload_off,
+                  static_cast<std::size_t>(chip_len)));
+
+  const std::string forged = path("fleet_ckpt_forged.bin");
+  {
+    std::ofstream out(forged, std::ios::binary);
+    out << bytes;
+  }
+  auto victim = build_fleet(spec);
+  const Status st = load_fleet_checkpoint(*victim, forged);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kCorruption);
+  EXPECT_EQ(victim->chip_stats(0).samples, 0u);
 }
 
 }  // namespace
