@@ -9,6 +9,7 @@
 #include "grid/power_grid.hpp"
 #include "grid/transient.hpp"
 #include "linalg/cholesky.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/qr.hpp"
 #include "sparse/cg.hpp"
@@ -188,6 +189,52 @@ void BM_GramMatrix(benchmark::State& state) {
                  " N=4000 threads=" + std::to_string(threads));
 }
 BENCHMARK(BM_GramMatrix)->Args({128, 1})->Args({128, 2})->Args({256, 1})->Args({256, 2});
+
+// --- SIMD dispatch: the raw kern:: primitives with the AVX2 path on vs
+// forced off (results are bit-identical either way; only wall clock moves).
+
+void BM_KernDotAxpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool simd = state.range(1) != 0;
+  Rng rng(13);
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  const bool was = linalg::kern::simd_enabled();
+  linalg::kern::set_simd_enabled(simd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::kern::dot(n, x.data(), y.data()));
+    linalg::kern::axpy(n, 1e-9, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  linalg::kern::set_simd_enabled(was);
+  state.SetLabel("n=" + std::to_string(n) + " " + (simd ? "simd" : "scalar"));
+}
+BENCHMARK(BM_KernDotAxpy)
+    ->Args({1 << 12, 0})
+    ->Args({1 << 12, 1})
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1});
+
+void BM_MatmulScalarDispatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool simd = state.range(1) != 0;
+  const auto a = random_matrix(n, 4 * n, 8);
+  const auto b = random_matrix(4 * n, n, 9);
+  const bool was = linalg::kern::simd_enabled();
+  linalg::kern::set_simd_enabled(simd);
+  for (auto _ : state) benchmark::DoNotOptimize(linalg::matmul(a, b));
+  linalg::kern::set_simd_enabled(was);
+  state.SetLabel("N=" + std::to_string(n) + "x" + std::to_string(4 * n) +
+                 (simd ? " simd" : " scalar"));
+}
+BENCHMARK(BM_MatmulScalarDispatch)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
 
 void BM_QrLeastSquares(benchmark::State& state) {
   const auto a = random_matrix(1000, static_cast<std::size_t>(state.range(0)), 6);

@@ -12,10 +12,13 @@
 // parallel dataset or model is not bit-identical to the serial one, so the
 // perf numbers can never come from a diverging computation.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +30,7 @@
 #include "core/pipeline.hpp"
 #include "grid/power_grid.hpp"
 #include "grid/transient.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -43,9 +47,40 @@ using namespace vmap;
 struct Measurement {
   std::string op;
   std::size_t threads = 0;
-  double wall_ms = 0.0;
-  double speedup = 1.0;  // vs the 1-thread run of the same op
+  double wall_ms = 0.0;   // best of --reps runs of this cell
+  double cal_ms = 0.0;    // per-cell calibration probe (machine-speed units)
+  double speedup = 1.0;   // vs the baseline cell, calibration-normalized
 };
+
+/// Calibration-normalized speedup of `m` against the baseline cell: each
+/// cell's wall time is first divided by the calibration probe taken right
+/// next to it, so thermal drift or a noisy neighbor between cells cannot
+/// fake a regression or mask a win.
+double cell_speedup(const Measurement& base, const Measurement& m) {
+  if (m.wall_ms <= 0.0 || base.cal_ms <= 0.0) return 1.0;
+  const double base_norm = base.wall_ms / base.cal_ms;
+  const double norm = m.wall_ms / (m.cal_ms > 0.0 ? m.cal_ms : base.cal_ms);
+  return norm > 0.0 ? base_norm / norm : 1.0;
+}
+
+/// Runs `body` --reps times and keeps the fastest wall time, with a fresh
+/// calibration probe per cell (best-of-N kills one-off scheduler hiccups;
+/// the probe anchors the cell to current machine speed).
+template <typename Body>
+Measurement time_cell(const std::string& op, std::size_t threads, int reps,
+                      Body&& body) {
+  Measurement m;
+  m.op = op;
+  m.threads = threads;
+  m.cal_ms = benchutil::calibration_ms();
+  for (int rep = 0; rep < reps; ++rep) {
+    Timer t;
+    body();
+    const double ms = t.millis();
+    if (rep == 0 || ms < m.wall_ms) m.wall_ms = ms;
+  }
+  return m;
+}
 
 std::vector<std::size_t> parse_thread_list(const std::string& spec) {
   std::vector<std::size_t> list;
@@ -100,12 +135,13 @@ void write_json(const std::string& path,
   if (!out) throw std::runtime_error("cannot write " + path);
   out << "[\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    char line[160];
+    char line[200];
     std::snprintf(line, sizeof(line),
                   "  {\"op\": \"%s\", \"threads\": %zu, \"wall_ms\": %.2f, "
-                  "\"speedup\": %.3f}%s\n",
+                  "\"cal_ms\": %.2f, \"speedup\": %.3f}%s\n",
                   rows[i].op.c_str(), rows[i].threads, rows[i].wall_ms,
-                  rows[i].speedup, i + 1 < rows.size() ? "," : "");
+                  rows[i].cal_ms, rows[i].speedup,
+                  i + 1 < rows.size() ? "," : "");
     out << line;
   }
   out << "]\n";
@@ -130,6 +166,8 @@ int main(int argc, char** argv) {
   args.add_flag("seed", "20150607", "experiment seed");
   args.add_flag("transient-steps", "400", "transient stepping workload");
   args.add_flag("matmul-size", "512", "edge N of the N x 4N * 4N x N matmul");
+  args.add_flag("reps", "3",
+                "runs per (op, threads) cell; the fastest is reported");
   try {
     if (!args.parse(argc, argv)) return 0;
     set_log_level(LogLevel::kWarn);
@@ -157,30 +195,33 @@ int main(int argc, char** argv) {
     const chip::Floorplan floorplan(grid, setup.floorplan);
     const auto suite = workload::parsec_like_suite();
 
+    const int reps = std::max(1, static_cast<int>(args.get_int("reps")));
     std::vector<Measurement> results;
     bool identical = true;
 
     // --- dataset collection + placement fit, per thread count ----------
     core::Dataset serial_data;
-    double collect_ms1 = 0.0, fit_ms1 = 0.0;
+    Measurement collect1, fit1;
     for (std::size_t threads : thread_list) {
       set_thread_count(threads);
 
-      Timer t_collect;
-      core::DataCollector collector(grid, floorplan, setup.data);
-      core::Dataset data = collector.collect(suite);
-      const double collect_ms = t_collect.millis();
+      core::Dataset data;
+      Measurement m_collect =
+          time_cell("collect", threads, reps, [&] {
+            core::DataCollector collector(grid, floorplan, setup.data);
+            data = collector.collect(suite);
+          });
 
-      Timer t_fit;
       core::PipelineConfig pc;
       pc.lambda = 6.0;
-      const core::PlacementModel model =
-          core::fit_placement(data, floorplan, pc);
-      const double fit_ms = t_fit.millis();
+      std::optional<core::PlacementModel> model;
+      Measurement m_fit = time_cell("gl_fit", threads, reps, [&] {
+        model.emplace(core::fit_placement(data, floorplan, pc));
+      });
 
       if (threads == thread_list.front()) {
-        collect_ms1 = collect_ms;
-        fit_ms1 = fit_ms;
+        collect1 = m_collect;
+        fit1 = m_fit;
         serial_data = std::move(data);
       } else {
         if (!datasets_identical(serial_data, data)) {
@@ -193,38 +234,38 @@ int main(int argc, char** argv) {
         const core::PlacementModel serial_model =
             core::fit_placement(serial_data, floorplan, pc);
         set_thread_count(threads);
-        if (!models_identical(serial_model, model)) {
+        if (!models_identical(serial_model, *model)) {
           std::fprintf(stderr,
                        "FAIL: model at %zu threads differs from serial\n",
                        threads);
           identical = false;
         }
       }
-      results.push_back({"collect", threads, collect_ms,
-                         collect_ms > 0.0 ? collect_ms1 / collect_ms : 1.0});
-      results.push_back(
-          {"gl_fit", threads, fit_ms, fit_ms > 0.0 ? fit_ms1 / fit_ms : 1.0});
+      m_collect.speedup = cell_speedup(collect1, m_collect);
+      m_fit.speedup = cell_speedup(fit1, m_fit);
+      results.push_back(m_collect);
+      results.push_back(m_fit);
       std::fprintf(stderr, "[perf] threads=%zu collect %.0f ms, fit %.0f ms\n",
-                   threads, collect_ms, fit_ms);
+                   threads, m_collect.wall_ms, m_fit.wall_ms);
     }
 
     // --- transient stepping (sequential by construction) ---------------
     const auto steps =
         static_cast<std::size_t>(args.get_int("transient-steps"));
-    double transient_ms1 = 0.0;
+    Measurement transient1;
     for (std::size_t threads : thread_list) {
       set_thread_count(threads);
-      grid::TransientSim sim(grid, setup.data.dt);
-      Rng rng(7);
-      linalg::Vector load(grid.node_count());
-      for (std::size_t i = 0; i < load.size(); ++i)
-        load[i] = rng.bernoulli(0.3) ? 1e-3 : 0.0;
-      Timer t;
-      for (std::size_t s = 0; s < steps; ++s) sim.step(load);
-      const double ms = t.millis();
-      if (threads == thread_list.front()) transient_ms1 = ms;
-      results.push_back({"transient_step", threads, ms,
-                         ms > 0.0 ? transient_ms1 / ms : 1.0});
+      Measurement m = time_cell("transient_step", threads, reps, [&] {
+        grid::TransientSim sim(grid, setup.data.dt);
+        Rng rng(7);
+        linalg::Vector load(grid.node_count());
+        for (std::size_t i = 0; i < load.size(); ++i)
+          load[i] = rng.bernoulli(0.3) ? 1e-3 : 0.0;
+        for (std::size_t s = 0; s < steps; ++s) sim.step(load);
+      });
+      if (threads == thread_list.front()) transient1 = m;
+      m.speedup = cell_speedup(transient1, m);
+      results.push_back(m);
     }
 
     // --- blocked matmul -------------------------------------------------
@@ -235,22 +276,88 @@ int main(int argc, char** argv) {
       for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.normal();
     for (std::size_t i = 0; i < b.rows(); ++i)
       for (std::size_t j = 0; j < b.cols(); ++j) b(i, j) = rng.normal();
-    double matmul_ms1 = 0.0;
+    Measurement matmul1;
     for (std::size_t threads : thread_list) {
       set_thread_count(threads);
-      double best = 0.0;
-      for (int rep = 0; rep < 3; ++rep) {
-        Timer t;
+      Measurement m = time_cell("matmul", threads, reps, [&] {
         const linalg::Matrix c = linalg::matmul(a, b);
-        const double ms = t.millis();
-        if (rep == 0 || ms < best) best = ms;
         if (c(0, 0) == 12345.0) std::fprintf(stderr, "?");  // keep c alive
-      }
-      if (threads == thread_list.front()) matmul_ms1 = best;
-      results.push_back(
-          {"matmul", threads, best, best > 0.0 ? matmul_ms1 / best : 1.0});
+      });
+      if (threads == thread_list.front()) matmul1 = m;
+      m.speedup = cell_speedup(matmul1, m);
+      results.push_back(m);
     }
     set_thread_count(0);
+
+    // --- kernel instruction mix -----------------------------------------
+    // Scalar vs SIMD vs SIMD+threads per kernel class, so BENCH_perf.json
+    // shows *where* scaling is lost: dispatch-level vectorization (the
+    // scalar→simd column), thread-level partitioning (simd→simd_mt), or
+    // neither (dot/axpy is sequential by contract — its mt column staying
+    // flat is expected, not a regression). Speedups are against the scalar
+    // cell of the same class, calibration-normalized like every other cell.
+    {
+      const std::size_t mt = thread_list.back();
+      const bool simd_was_enabled = linalg::kern::simd_enabled();
+      const std::size_t kn = 256;
+      linalg::Matrix ka(kn, 4 * kn), kb(4 * kn, kn);
+      linalg::Matrix kx(4 * kn, kn);            // Gram operand (tall)
+      linalg::Matrix ks(16 * kn, kn / 2), kw(kn / 2, kn / 2);  // batched predict
+      Rng krng(17);
+      for (auto* mat : {&ka, &kb, &kx, &ks, &kw})
+        for (std::size_t i = 0; i < mat->rows() * mat->cols(); ++i)
+          mat->data()[i] = krng.normal();
+      std::vector<double> kvx(1 << 15), kvy(1 << 15);
+      for (std::size_t i = 0; i < kvx.size(); ++i) {
+        kvx[i] = krng.normal();
+        kvy[i] = krng.normal();
+      }
+
+      volatile double sink = 0.0;
+      const auto kernel_bodies = [&](const std::string& cls) {
+        return std::function<void()>([&, cls] {
+          if (cls == "matmul") {
+            const linalg::Matrix c = linalg::matmul(ka, kb);
+            sink = c(0, 0);
+          } else if (cls == "gram") {
+            const linalg::Matrix g = linalg::matmul_at_b(kx, kx);
+            sink = g(0, 0);
+          } else if (cls == "dot_axpy") {
+            double acc = 0.0;
+            for (int r = 0; r < 400; ++r) {
+              acc += linalg::kern::dot(kvx.size(), kvx.data(), kvy.data());
+              linalg::kern::axpy(kvx.size(), 1e-9, kvx.data(), kvy.data());
+            }
+            sink = acc;
+          } else {  // batched_matvec: samples x sensors · (rows x sensors)ᵀ
+            const linalg::Matrix p = linalg::matmul_a_bt(ks, kw);
+            sink = p(0, 0);
+          }
+        });
+      };
+      struct Variant {
+        const char* name;
+        bool simd;
+        std::size_t threads;
+      };
+      const Variant variants[] = {
+          {"scalar", false, 1}, {"simd", true, 1}, {"simd_mt", true, mt}};
+      for (const char* cls : {"matmul", "gram", "dot_axpy", "batched_matvec"}) {
+        Measurement scalar_cell;
+        for (const Variant& v : variants) {
+          linalg::kern::set_simd_enabled(v.simd);
+          set_thread_count(v.threads);
+          Measurement m = time_cell(std::string("kern_") + cls + "_" + v.name,
+                                    v.threads, reps, kernel_bodies(cls));
+          if (v.threads == 1 && !v.simd) scalar_cell = m;
+          m.speedup = cell_speedup(scalar_cell, m);
+          results.push_back(m);
+        }
+      }
+      (void)sink;
+      linalg::kern::set_simd_enabled(simd_was_enabled);
+      set_thread_count(0);
+    }
 
     // --- report ---------------------------------------------------------
     TablePrinter table({"op", "threads", "wall(ms)", "speedup"});

@@ -233,13 +233,21 @@ Dataset DataCollector::collect(
   // Benchmarks are mutually independent: each gets its own activity RNG
   // (derived from the seed and the benchmark index alone), its own reset
   // simulator state, and writes a disjoint column range of the shared
-  // matrices at offsets fixed by the canonical suite order. The work is
-  // split into one chunk per pool thread, each chunk owning a transient
-  // engine (one factorization) and walking its benchmarks in order — at
-  // one thread this is exactly the serial loop, and at any thread count
-  // the dataset is bit-identical to it.
+  // matrices at offsets fixed by the canonical suite order. Chunking uses
+  // the shared work-quantum heuristic capped at one chunk per pool thread:
+  // each chunk owns a transient engine (one factorization), so finer
+  // chunks would repeat that setup cost for no scheduling win. At one
+  // thread this is exactly the serial loop, and at any thread count the
+  // dataset is bit-identical to it.
   std::vector<BenchmarkSlice> slices(n_benchmarks);
-  const std::size_t chunks = std::min(n_benchmarks, thread_count());
+  const std::size_t steps_per_benchmark =
+      config_.warmup_steps +
+      (config_.train_maps_per_benchmark + config_.test_maps_per_benchmark) *
+          config_.map_stride;
+  const double bench_flops = static_cast<double>(steps_per_benchmark) *
+                             static_cast<double>(grid_.node_count()) * 100.0;
+  const std::size_t chunks =
+      recommended_chunks(n_benchmarks, bench_flops, /*max_per_thread=*/1);
   parallel_for(0, chunks, [&](std::size_t chunk) {
     grid::TransientSim worker_sim(grid_, config_.dt);
     linalg::Vector currents(grid_.node_count());

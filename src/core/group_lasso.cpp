@@ -1,13 +1,17 @@
 #include "core/group_lasso.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <string>
 
+#include "linalg/kernels.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/parallel.hpp"
 #include "util/trace.hpp"
 
 namespace vmap::core {
@@ -163,13 +167,24 @@ GroupLassoResult GroupLasso::solve_bcd(
     }
 
     if (change_sq > 0.0) {
+      // P-row updates: each k owns its own row of P (and one β entry), so
+      // the rows can run on the pool in any order with identical results.
+      // The small-problem guard skips even the chunk heuristic so tiny
+      // groups stay allocation- and lock-free.
       const double* arow = a.row_data(m);
-      for (std::size_t k = 0; k < k_count; ++k) {
-        if (delta[k] == 0.0) continue;
-        beta(k, m) += delta[k];
-        double* prow = p.row_data(k);
-        const double dk = delta[k];
-        for (std::size_t j = 0; j < m_count; ++j) prow[j] += dk * arow[j];
+      auto apply_rows = [&](std::size_t kb, std::size_t ke) {
+        for (std::size_t k = kb; k < ke; ++k) {
+          if (delta[k] == 0.0) continue;
+          beta(k, m) += delta[k];
+          linalg::kern::axpy(m_count, delta[k], arow, p.row_data(k));
+        }
+      };
+      const double row_flops = 2.0 * static_cast<double>(m_count);
+      if (row_flops * static_cast<double>(k_count) >=
+          2.0 * kWorkQuantumFlops) {
+        parallel_for_chunked(0, k_count, row_flops, apply_rows);
+      } else {
+        apply_rows(0, k_count);
       }
     }
     return std::sqrt(change_sq);
@@ -258,45 +273,72 @@ GroupLassoResult GroupLasso::solve_fista(
   const double step_mu = mu / lip;
 
   for (std::size_t it = 0; it < options_.max_iterations; ++it) {
-    // Gradient step on the momentum point: y − (yA − B)/L.
+    // Gradient step on the momentum point: y − (yA − B)/L. Per-row
+    // elementwise, so rows can run on the pool with identical results.
     linalg::Matrix grad = linalg::matmul(y, a);
     grad -= b;
     linalg::Matrix next = y;
-    for (std::size_t k = 0; k < k_count; ++k) {
-      double* nrow = next.row_data(k);
-      const double* grow = grad.row_data(k);
-      for (std::size_t m = 0; m < m_count; ++m) nrow[m] -= grow[m] / lip;
-    }
-    // Column-group proximal (soft threshold at μ/L).
-    for (std::size_t m = 0; m < m_count; ++m) {
-      double norm_sq = 0.0;
-      for (std::size_t k = 0; k < k_count; ++k)
-        norm_sq += next(k, m) * next(k, m);
-      if (!std::isfinite(norm_sq)) {
-        result.status = Status::Numerical(
-            "non-finite iterate in group-lasso FISTA (iteration " +
-            std::to_string(it + 1) + ", mu=" + std::to_string(mu) + ")");
-        return result;
-      }
-      const double norm = std::sqrt(norm_sq);
-      const double scale = norm <= step_mu ? 0.0 : 1.0 - step_mu / norm;
-      for (std::size_t k = 0; k < k_count; ++k) next(k, m) *= scale;
+    const double row_flops = 2.0 * static_cast<double>(m_count);
+    parallel_for_chunked(0, k_count, row_flops,
+                         [&](std::size_t kb, std::size_t ke) {
+                           for (std::size_t k = kb; k < ke; ++k)
+                             linalg::kern::sub_div(m_count, grad.row_data(k), lip,
+                                           next.row_data(k));
+                         });
+    // Column-group proximal (soft threshold at μ/L). Columns are
+    // independent (each norm walks its own column in ascending k), so
+    // column ranges parallelize bit-identically; a non-finite column only
+    // sets the flag — `next` is discarded on that path, so scaling the
+    // other columns anyway changes nothing observable.
+    std::atomic<bool> non_finite{false};
+    parallel_for_chunked(
+        0, m_count, 2.0 * static_cast<double>(k_count),
+        [&](std::size_t mb, std::size_t me) {
+          for (std::size_t m = mb; m < me; ++m) {
+            double norm_sq = 0.0;
+            for (std::size_t k = 0; k < k_count; ++k)
+              norm_sq += next(k, m) * next(k, m);
+            if (!std::isfinite(norm_sq)) {
+              non_finite.store(true, std::memory_order_relaxed);
+              return;
+            }
+            const double norm = std::sqrt(norm_sq);
+            const double scale = norm <= step_mu ? 0.0 : 1.0 - step_mu / norm;
+            for (std::size_t k = 0; k < k_count; ++k) next(k, m) *= scale;
+          }
+        });
+    if (non_finite.load(std::memory_order_relaxed)) {
+      result.status = Status::Numerical(
+          "non-finite iterate in group-lasso FISTA (iteration " +
+          std::to_string(it + 1) + ", mu=" + std::to_string(mu) + ")");
+      return result;
     }
 
-    // Nesterov momentum.
+    // Nesterov momentum. Rows are disjoint; the convergence check is a max
+    // over all elements, which is order-insensitive for the finite values
+    // here, so per-chunk maxima folded under a mutex reproduce the serial
+    // `change` exactly.
     const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
     double change = 0.0;
-    for (std::size_t k = 0; k < k_count; ++k) {
-      double* yrow = y.row_data(k);
-      double* brow = beta.row_data(k);
-      const double* nrow = next.row_data(k);
-      for (std::size_t m = 0; m < m_count; ++m) {
-        const double d = nrow[m] - brow[m];
-        change = std::max(change, std::abs(d));
-        yrow[m] = nrow[m] + ((t - 1.0) / t_next) * d;
-        brow[m] = nrow[m];
-      }
-    }
+    std::mutex change_mutex;
+    parallel_for_chunked(
+        0, k_count, 4.0 * static_cast<double>(m_count),
+        [&](std::size_t kb, std::size_t ke) {
+          double local = 0.0;
+          for (std::size_t k = kb; k < ke; ++k) {
+            double* yrow = y.row_data(k);
+            double* brow = beta.row_data(k);
+            const double* nrow = next.row_data(k);
+            for (std::size_t m = 0; m < m_count; ++m) {
+              const double d = nrow[m] - brow[m];
+              local = std::max(local, std::abs(d));
+              yrow[m] = nrow[m] + ((t - 1.0) / t_next) * d;
+              brow[m] = nrow[m];
+            }
+          }
+          std::lock_guard<std::mutex> lock(change_mutex);
+          change = std::max(change, local);
+        });
     t = t_next;
     result.iterations = it + 1;
     if (change < options_.tolerance) {

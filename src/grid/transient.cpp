@@ -1,5 +1,6 @@
 #include "grid/transient.hpp"
 
+#include "linalg/kernels.hpp"
 #include "sparse/csr.hpp"
 #include "util/assert.hpp"
 #include "util/metrics.hpp"
@@ -98,10 +99,8 @@ const linalg::Vector& TransientSim::step(
   const double vdd = grid_.config().vdd;
 
   linalg::Vector rhs(grid_.node_count());
-  for (std::size_t i = 0; i < rhs.size(); ++i)
-    rhs[i] = c_over_dt_[i] * v_[i];
-  for (std::size_t i = 0; i < load_currents.size(); ++i)
-    rhs[i] -= load_currents[i];
+  linalg::kern::mul_to(rhs.size(), c_over_dt_.data(), v_.data(), rhs.data());
+  linalg::kern::sub(load_currents.size(), load_currents.data(), rhs.data());
 
   const auto& pads = grid_.pad_nodes();
   if (inductive_) {

@@ -1,0 +1,404 @@
+#include "linalg/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define VMAP_KERN_X86 1
+#include <immintrin.h>
+#else
+#define VMAP_KERN_X86 0
+#endif
+
+namespace vmap::linalg::kern {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. These are the semantics contract: every AVX2
+// kernel below must produce byte-identical results.
+// ---------------------------------------------------------------------------
+
+namespace ref {
+
+void axpy(std::size_t n, double a, const double* x, double* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void xpby(std::size_t n, const double* z, double b, double* p) {
+  for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + b * p[i];
+}
+
+void scale(std::size_t n, double a, double* x) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+void add(std::size_t n, const double* x, double* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void sub(std::size_t n, const double* x, double* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] -= x[i];
+}
+
+void sub_div(std::size_t n, const double* g, double d, double* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] -= g[i] / d;
+}
+
+void mul_to(std::size_t n, const double* x, const double* y, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] * y[i];
+}
+
+void pack_panel(std::size_t n, const double* r0, const double* r1,
+                const double* r2, const double* r3, double* panel) {
+  for (std::size_t k = 0; k < n; ++k) {
+    panel[k * 4 + 0] = r0[k];
+    panel[k * 4 + 1] = r1[k];
+    panel[k * 4 + 2] = r2[k];
+    panel[k * 4 + 3] = r3[k];
+  }
+}
+
+void dot_panel(std::size_t n, const double* a, const double* panel,
+               double* out4) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ak = a[k];
+    s0 += ak * panel[k * 4 + 0];
+    s1 += ak * panel[k * 4 + 1];
+    s2 += ak * panel[k * 4 + 2];
+    s3 += ak * panel[k * 4 + 3];
+  }
+  out4[0] = s0;
+  out4[1] = s1;
+  out4[2] = s2;
+  out4[3] = s3;
+}
+
+void dot_panel2(std::size_t n, const double* a, const double* b,
+                const double* panel, double* out_a, double* out_b) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  double b0 = 0.0, b1 = 0.0, b2 = 0.0, b3 = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ak = a[k];
+    const double bk = b[k];
+    const double p0 = panel[k * 4 + 0];
+    const double p1 = panel[k * 4 + 1];
+    const double p2 = panel[k * 4 + 2];
+    const double p3 = panel[k * 4 + 3];
+    a0 += ak * p0;
+    a1 += ak * p1;
+    a2 += ak * p2;
+    a3 += ak * p3;
+    b0 += bk * p0;
+    b1 += bk * p1;
+    b2 += bk * p2;
+    b3 += bk * p3;
+  }
+  out_a[0] = a0;
+  out_a[1] = a1;
+  out_a[2] = a2;
+  out_a[3] = a3;
+  out_b[0] = b0;
+  out_b[1] = b1;
+  out_b[2] = b2;
+  out_b[3] = b3;
+}
+
+double dot(std::size_t n, const double* x, const double* y) {
+  // Fixed 4-lane strided order: lane l owns i ≡ l (mod 4); lanes combine
+  // as (l0+l2)+(l1+l3); tail folds in sequentially. Matches the AVX2
+  // horizontal-sum below exactly.
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    s0 += x[i + 0] * y[i + 0];
+    s1 += x[i + 1] * y[i + 1];
+    s2 += x[i + 2] * y[i + 2];
+    s3 += x[i + 3] * y[i + 3];
+  }
+  double s = (s0 + s2) + (s1 + s3);
+  for (std::size_t i = n4; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+double nrm2sq(std::size_t n, const double* x) { return dot(n, x, x); }
+
+}  // namespace ref
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels.
+//
+// Compiled with target("avx2") and deliberately WITHOUT "fma": GCC's
+// _mm256_mul_pd/_mm256_add_pd lower to plain vector mul/add expressions
+// which the default -ffp-contract=fast would happily fuse into a
+// single-rounding FMA if the FMA ISA were enabled — and that would break
+// byte-identity with the scalar (two-rounding) reference. With FMA left
+// out of the target set, contraction is impossible.
+// ---------------------------------------------------------------------------
+
+#if VMAP_KERN_X86
+
+namespace avx2 {
+
+#define VMAP_AVX2 __attribute__((target("avx2")))
+
+VMAP_AVX2 void axpy(std::size_t n, double a, const double* x, double* y) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    _mm256_storeu_pd(y + i,
+                     _mm256_add_pd(vy, _mm256_mul_pd(va, vx)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+VMAP_AVX2 void xpby(std::size_t n, const double* z, double b, double* p) {
+  const __m256d vb = _mm256_set1_pd(b);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vz = _mm256_loadu_pd(z + i);
+    const __m256d vp = _mm256_loadu_pd(p + i);
+    _mm256_storeu_pd(p + i,
+                     _mm256_add_pd(vz, _mm256_mul_pd(vb, vp)));
+  }
+  for (; i < n; ++i) p[i] = z[i] + b * p[i];
+}
+
+VMAP_AVX2 void scale(std::size_t n, double a, double* x) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= a;
+}
+
+VMAP_AVX2 void add(std::size_t n, const double* x, double* y) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+VMAP_AVX2 void sub(std::size_t n, const double* x, double* y) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_sub_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] -= x[i];
+}
+
+VMAP_AVX2 void sub_div(std::size_t n, const double* g, double d, double* y) {
+  // vdivpd is correctly rounded per element, exactly like the scalar
+  // division — never replace with multiply-by-reciprocal.
+  const __m256d vd = _mm256_set1_pd(d);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    const __m256d vg = _mm256_loadu_pd(g + i);
+    _mm256_storeu_pd(y + i, _mm256_sub_pd(vy, _mm256_div_pd(vg, vd)));
+  }
+  for (; i < n; ++i) y[i] -= g[i] / d;
+}
+
+VMAP_AVX2 void mul_to(std::size_t n, const double* x, const double* y,
+                      double* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(_mm256_loadu_pd(x + i),
+                                            _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] * y[i];
+}
+
+VMAP_AVX2 void pack_panel(std::size_t n, const double* r0, const double* r1,
+                          const double* r2, const double* r3, double* panel) {
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    // 4x4 transpose: rows (r0..r3)[k..k+3] -> panel[k..k+3][lane].
+    const __m256d a = _mm256_loadu_pd(r0 + k);
+    const __m256d b = _mm256_loadu_pd(r1 + k);
+    const __m256d c = _mm256_loadu_pd(r2 + k);
+    const __m256d d = _mm256_loadu_pd(r3 + k);
+    const __m256d t0 = _mm256_unpacklo_pd(a, b);  // a0 b0 a2 b2
+    const __m256d t1 = _mm256_unpackhi_pd(a, b);  // a1 b1 a3 b3
+    const __m256d t2 = _mm256_unpacklo_pd(c, d);  // c0 d0 c2 d2
+    const __m256d t3 = _mm256_unpackhi_pd(c, d);  // c1 d1 c3 d3
+    _mm256_storeu_pd(panel + (k + 0) * 4, _mm256_permute2f128_pd(t0, t2, 0x20));
+    _mm256_storeu_pd(panel + (k + 1) * 4, _mm256_permute2f128_pd(t1, t3, 0x20));
+    _mm256_storeu_pd(panel + (k + 2) * 4, _mm256_permute2f128_pd(t0, t2, 0x31));
+    _mm256_storeu_pd(panel + (k + 3) * 4, _mm256_permute2f128_pd(t1, t3, 0x31));
+  }
+  for (; k < n; ++k) {
+    panel[k * 4 + 0] = r0[k];
+    panel[k * 4 + 1] = r1[k];
+    panel[k * 4 + 2] = r2[k];
+    panel[k * 4 + 3] = r3[k];
+  }
+}
+
+VMAP_AVX2 void dot_panel(std::size_t n, const double* a, const double* panel,
+                         double* out4) {
+  // One accumulator per lane (= per output element), ascending k: the
+  // per-element accumulation chain is exactly the scalar reference's.
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t k = 0; k < n; ++k) {
+    const __m256d ak = _mm256_set1_pd(a[k]);
+    const __m256d pk = _mm256_loadu_pd(panel + k * 4);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(ak, pk));
+  }
+  _mm256_storeu_pd(out4, acc);
+}
+
+VMAP_AVX2 void dot_panel2(std::size_t n, const double* a, const double* b,
+                          const double* panel, double* out_a, double* out_b) {
+  __m256d acc_a = _mm256_setzero_pd();
+  __m256d acc_b = _mm256_setzero_pd();
+  for (std::size_t k = 0; k < n; ++k) {
+    const __m256d pk = _mm256_loadu_pd(panel + k * 4);
+    acc_a = _mm256_add_pd(acc_a, _mm256_mul_pd(_mm256_set1_pd(a[k]), pk));
+    acc_b = _mm256_add_pd(acc_b, _mm256_mul_pd(_mm256_set1_pd(b[k]), pk));
+  }
+  _mm256_storeu_pd(out_a, acc_a);
+  _mm256_storeu_pd(out_b, acc_b);
+}
+
+VMAP_AVX2 double dot(std::size_t n, const double* x, const double* y) {
+  __m256d acc = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+  }
+  // Horizontal sum: lo+hi gives (l0+l2, l1+l3); then (l0+l2)+(l1+l3) —
+  // the exact combine order ref::dot mirrors.
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  double s = _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (std::size_t i = n4; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+VMAP_AVX2 double nrm2sq(std::size_t n, const double* x) {
+  return dot(n, x, x);
+}
+
+#undef VMAP_AVX2
+
+}  // namespace avx2
+
+#endif  // VMAP_KERN_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool detect_simd_available() {
+#if VMAP_KERN_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool env_allows_simd() {
+  const char* v = std::getenv("VMAP_SIMD");
+  if (v == nullptr || *v == '\0') return true;
+  return std::strcmp(v, "0") != 0;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> enabled{detect_simd_available() &&
+                                   env_allows_simd()};
+  return enabled;
+}
+
+inline bool use_simd() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool simd_available() {
+  static const bool available = detect_simd_available();
+  return available;
+}
+
+bool simd_enabled() { return use_simd(); }
+
+void set_simd_enabled(bool on) {
+  enabled_flag().store(on && simd_available(), std::memory_order_relaxed);
+}
+
+const char* simd_level() { return use_simd() ? "avx2" : "scalar"; }
+
+#if VMAP_KERN_X86
+#define VMAP_KERN_DISPATCH(call) \
+  if (use_simd()) return avx2::call; \
+  return ref::call
+#else
+#define VMAP_KERN_DISPATCH(call) return ref::call
+#endif
+
+void axpy(std::size_t n, double a, const double* x, double* y) {
+  VMAP_KERN_DISPATCH(axpy(n, a, x, y));
+}
+
+void xpby(std::size_t n, const double* z, double b, double* p) {
+  VMAP_KERN_DISPATCH(xpby(n, z, b, p));
+}
+
+void scale(std::size_t n, double a, double* x) {
+  VMAP_KERN_DISPATCH(scale(n, a, x));
+}
+
+void add(std::size_t n, const double* x, double* y) {
+  VMAP_KERN_DISPATCH(add(n, x, y));
+}
+
+void sub(std::size_t n, const double* x, double* y) {
+  VMAP_KERN_DISPATCH(sub(n, x, y));
+}
+
+void sub_div(std::size_t n, const double* g, double d, double* y) {
+  VMAP_KERN_DISPATCH(sub_div(n, g, d, y));
+}
+
+void mul_to(std::size_t n, const double* x, const double* y, double* out) {
+  VMAP_KERN_DISPATCH(mul_to(n, x, y, out));
+}
+
+void pack_panel(std::size_t n, const double* r0, const double* r1,
+                const double* r2, const double* r3, double* panel) {
+  VMAP_KERN_DISPATCH(pack_panel(n, r0, r1, r2, r3, panel));
+}
+
+void dot_panel(std::size_t n, const double* a, const double* panel,
+               double* out4) {
+  VMAP_KERN_DISPATCH(dot_panel(n, a, panel, out4));
+}
+
+void dot_panel2(std::size_t n, const double* a, const double* b,
+                const double* panel, double* out_a, double* out_b) {
+  VMAP_KERN_DISPATCH(dot_panel2(n, a, b, panel, out_a, out_b));
+}
+
+double dot(std::size_t n, const double* x, const double* y) {
+  VMAP_KERN_DISPATCH(dot(n, x, y));
+}
+
+double nrm2sq(std::size_t n, const double* x) {
+  VMAP_KERN_DISPATCH(nrm2sq(n, x));
+}
+
+#undef VMAP_KERN_DISPATCH
+
+}  // namespace vmap::linalg::kern

@@ -1,0 +1,116 @@
+#pragma once
+// SIMD microkernel layer: the raw-pointer primitives under the dense
+// kernels (matmul family, Gram products, CG/FISTA vector updates, the
+// serving layer's batched predict).
+//
+// Dispatch: every kernel has an AVX2 implementation and a scalar fallback,
+// selected once at startup — AVX2 when the CPU supports it and the
+// VMAP_SIMD environment variable does not disable it (VMAP_SIMD=0 is the
+// kill switch, mirroring VMAP_METRICS). set_simd_enabled() lets tests and
+// benches flip paths at runtime.
+//
+// Bit-identity contract: the AVX2 kernels vectorize across *independent
+// output elements* — each element keeps its own single accumulator,
+// walking k in ascending order, and multiplies are never fused into FMAs
+// (separate mul + add, two roundings, exactly like the scalar code). So
+// every kernel here is bit-identical to its scalar fallback, and the dense
+// kernels built on them stay bit-identical to matmul_reference at any
+// thread count and either SIMD setting. The only kernels with a *new*
+// accumulation order are dot()/nrm2sq(), which use a fixed 4-lane strided
+// order (documented below) — they are bit-identical scalar-vs-AVX2 but NOT
+// to the legacy sequential linalg::dot, so the solver paths keep the
+// sequential versions and these serve new code and the kernel benches.
+//
+// kern::ref mirrors every kernel with a plain scalar implementation that
+// ignores the dispatch switch — the identity oracle the tests compare
+// against byte-for-byte.
+
+#include <cstddef>
+
+namespace vmap::linalg::kern {
+
+/// True when this build/CPU can run the AVX2 kernels at all.
+bool simd_available();
+/// True when the AVX2 kernels are the active dispatch target.
+bool simd_enabled();
+/// Flips the dispatch at runtime (tests, scalar-vs-SIMD benches). Enabling
+/// is a no-op when simd_available() is false. Not thread-safe against
+/// in-flight kernels; call from a single thread between workloads.
+void set_simd_enabled(bool on);
+/// "avx2" or "scalar" — what the dispatcher currently targets.
+const char* simd_level();
+
+// --- element-wise kernels (bit-identical to the scalar loops) -----------
+
+/// y[i] += a * x[i]
+void axpy(std::size_t n, double a, const double* x, double* y);
+/// p[i] = z[i] + b * p[i]  (the CG search-direction update)
+void xpby(std::size_t n, const double* z, double b, double* p);
+/// x[i] *= a
+void scale(std::size_t n, double a, double* x);
+/// y[i] += x[i]
+void add(std::size_t n, const double* x, double* y);
+/// y[i] -= x[i]
+void sub(std::size_t n, const double* x, double* y);
+/// y[i] -= g[i] / d  (FISTA gradient step; IEEE division per element)
+void sub_div(std::size_t n, const double* g, double d, double* y);
+/// out[i] = x[i] * y[i]
+void mul_to(std::size_t n, const double* x, const double* y, double* out);
+
+// --- packed A·Bᵀ microkernel --------------------------------------------
+//
+// The dot-product family (Gram matrices, A·Bᵀ, batched predict) vectorizes
+// across 4 output columns at once: pack_panel() interleaves 4 rows of B
+// into panel[k*4 + lane], then dot_panel() keeps one accumulator per lane
+// and walks k ascending — each output element sees exactly the sequential
+// single-accumulator order, so results match the scalar dot per element.
+
+inline constexpr std::size_t kPanelWidth = 4;
+
+/// panel[k*4 + l] = r_l[k] for l in 0..3; panel must hold 4*n doubles.
+void pack_panel(std::size_t n, const double* r0, const double* r1,
+                const double* r2, const double* r3, double* panel);
+/// out4[l] = sum_k a[k] * panel[k*4 + l] (ascending k, one accumulator
+/// per lane).
+void dot_panel(std::size_t n, const double* a, const double* panel,
+               double* out4);
+/// Two A rows against one panel in a single sweep (panel loaded once per
+/// k): out_a[l], out_b[l] as dot_panel of a and b respectively.
+void dot_panel2(std::size_t n, const double* a, const double* b,
+                const double* panel, double* out_a, double* out_b);
+
+// --- strided-order reductions -------------------------------------------
+//
+// Fixed 4-lane strided accumulation: lane l sums elements l, l+4, l+8, …;
+// the lanes are combined as (l0+l2)+(l1+l3) and the tail (n % 4 elements)
+// is folded in sequentially afterwards. Deterministic and shape-only —
+// but a DIFFERENT order from the legacy sequential linalg::dot, so do not
+// swap these into a path whose scalars are gated byte-exactly without
+// refreshing baselines.
+
+/// sum_i x[i]*y[i] in the strided-lane order above.
+double dot(std::size_t n, const double* x, const double* y);
+/// sum_i x[i]*x[i] in the strided-lane order above.
+double nrm2sq(std::size_t n, const double* x);
+
+// --- scalar oracles ------------------------------------------------------
+
+namespace ref {
+void axpy(std::size_t n, double a, const double* x, double* y);
+void xpby(std::size_t n, const double* z, double b, double* p);
+void scale(std::size_t n, double a, double* x);
+void add(std::size_t n, const double* x, double* y);
+void sub(std::size_t n, const double* x, double* y);
+void sub_div(std::size_t n, const double* g, double d, double* y);
+void mul_to(std::size_t n, const double* x, const double* y, double* out);
+void pack_panel(std::size_t n, const double* r0, const double* r1,
+                const double* r2, const double* r3, double* panel);
+void dot_panel(std::size_t n, const double* a, const double* panel,
+               double* out4);
+void dot_panel2(std::size_t n, const double* a, const double* b,
+                const double* panel, double* out_a, double* out_b);
+double dot(std::size_t n, const double* x, const double* y);
+double nrm2sq(std::size_t n, const double* x);
+}  // namespace ref
+
+}  // namespace vmap::linalg::kern

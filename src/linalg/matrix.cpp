@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.hpp"
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
 
@@ -70,19 +71,19 @@ Matrix Matrix::transposed() const {
 Matrix& Matrix::operator+=(const Matrix& rhs) {
   VMAP_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
                "matrix shape mismatch in +=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  kern::add(data_.size(), rhs.data_.data(), data_.data());
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& rhs) {
   VMAP_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
                "matrix shape mismatch in -=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  kern::sub(data_.size(), rhs.data_.data(), data_.data());
   return *this;
 }
 
 Matrix& Matrix::operator*=(double s) {
-  for (double& v : data_) v *= s;
+  kern::scale(data_.size(), s, data_.data());
   return *this;
 }
 
@@ -159,12 +160,6 @@ namespace {
 // ascending k, so blocked results are bit-identical to the naive kernels.
 constexpr std::size_t kTileK = 64;
 constexpr std::size_t kTileJ = 512;
-constexpr std::size_t kDotTile = 16;   // i/j tile for the A·Bᵀ kernel
-constexpr std::size_t kDotTileK = 256; // k slice for the A·Bᵀ kernel
-
-// Parallelize a kernel only past this many multiply-adds; below it the
-// dispatch overhead dominates.
-constexpr double kParallelFlops = 1.5e6;
 
 /// Row range [i0, i1) of C = A * B, blocked k-j within the range.
 void matmul_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t i0,
@@ -182,7 +177,7 @@ void matmul_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t i0,
           const double aik = arow[k];
           if (aik == 0.0) continue;
           const double* brow = b.row_data(k) + j0;
-          for (std::size_t j = 0; j < jn; ++j) crow[j] += aik * brow[j];
+          kern::axpy(jn, aik, brow, crow);
         }
       }
     }
@@ -204,56 +199,61 @@ void matmul_at_b_rows(const Matrix& a, const Matrix& b, Matrix& c,
           const double aki = a(k, i);
           if (aki == 0.0) continue;
           const double* brow = b.row_data(k) + j0;
-          for (std::size_t j = 0; j < jn; ++j) crow[j] += aki * brow[j];
+          kern::axpy(jn, aki, brow, crow);
         }
       }
     }
   }
 }
 
-/// Row range [i0, i1) of C = A * Bᵀ: tiled dot products with one running
-/// accumulator per output element (k strictly ascending).
+/// Row range [i0, i1) of C = A * Bᵀ: packed-panel microkernel. Four B rows
+/// are interleaved into a [k][4] panel once, then every A row (two at a
+/// time) sweeps the panel with one running accumulator per output element,
+/// k strictly ascending — the same per-element chain as a plain sequential
+/// dot, so results are bit-identical to the naive kernel at any SIMD
+/// setting.
 void matmul_a_bt_rows(const Matrix& a, const Matrix& b, Matrix& c,
                       std::size_t i0, std::size_t i1) {
   const std::size_t nk = a.cols();
   const std::size_t nj = b.rows();
-  double acc[kDotTile][kDotTile];
-  for (std::size_t ib = i0; ib < i1; ib += kDotTile) {
-    const std::size_t ie = std::min(i1, ib + kDotTile);
-    for (std::size_t jb = 0; jb < nj; jb += kDotTile) {
-      const std::size_t je = std::min(nj, jb + kDotTile);
-      for (std::size_t i = ib; i < ie; ++i)
-        for (std::size_t j = jb; j < je; ++j) acc[i - ib][j - jb] = 0.0;
-      for (std::size_t k0 = 0; k0 < nk; k0 += kDotTileK) {
-        const std::size_t k1 = std::min(nk, k0 + kDotTileK);
-        for (std::size_t i = ib; i < ie; ++i) {
-          const double* arow = a.row_data(i);
-          for (std::size_t j = jb; j < je; ++j) {
-            const double* brow = b.row_data(j);
-            double s = acc[i - ib][j - jb];
-            for (std::size_t k = k0; k < k1; ++k) s += arow[k] * brow[k];
-            acc[i - ib][j - jb] = s;
-          }
-        }
-      }
-      for (std::size_t i = ib; i < ie; ++i)
-        for (std::size_t j = jb; j < je; ++j) c(i, j) = acc[i - ib][j - jb];
+  std::vector<double> panel(kern::kPanelWidth * nk);
+  std::size_t jb = 0;
+  for (; jb + kern::kPanelWidth <= nj; jb += kern::kPanelWidth) {
+    kern::pack_panel(nk, b.row_data(jb), b.row_data(jb + 1),
+                     b.row_data(jb + 2), b.row_data(jb + 3), panel.data());
+    std::size_t i = i0;
+    for (; i + 2 <= i1; i += 2) {
+      kern::dot_panel2(nk, a.row_data(i), a.row_data(i + 1), panel.data(),
+                       c.row_data(i) + jb, c.row_data(i + 1) + jb);
+    }
+    for (; i < i1; ++i)
+      kern::dot_panel(nk, a.row_data(i), panel.data(), c.row_data(i) + jb);
+  }
+  // Ragged tail columns (nj % 4): plain sequential dots.
+  for (; jb < nj; ++jb) {
+    const double* brow = b.row_data(jb);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double* arow = a.row_data(i);
+      double s = 0.0;
+      for (std::size_t k = 0; k < nk; ++k) s += arow[k] * brow[k];
+      c(i, jb) = s;
     }
   }
 }
 
-/// Splits [0, rows) into contiguous chunks and runs `rows_fn` on the pool
-/// when the kernel is large enough; inline otherwise. Chunk boundaries do
-/// not affect results: each output row is produced whole by one chunk.
+/// Splits [0, rows) into contiguous chunks (sized by the shared
+/// work-quantum heuristic) and runs `rows_fn` on the pool when the kernel
+/// is large enough; inline otherwise. Chunk boundaries do not affect
+/// results: each output row is produced whole by one chunk.
 template <typename RowsFn>
 void dispatch_rows(std::size_t rows, double flops, const RowsFn& rows_fn) {
-  const std::size_t threads = thread_count();
   if (rows == 0) return;
-  if (flops < kParallelFlops || threads <= 1 || in_parallel_region()) {
+  const std::size_t chunks =
+      recommended_chunks(rows, flops / static_cast<double>(rows));
+  if (chunks <= 1 || in_parallel_region()) {
     rows_fn(0, rows);
     return;
   }
-  const std::size_t chunks = std::min(rows, 4 * threads);
   parallel_for(0, chunks, [&](std::size_t t) {
     rows_fn(t * rows / chunks, (t + 1) * rows / chunks);
   });
@@ -333,7 +333,7 @@ Vector matvec_t(const Matrix& a, const Vector& x) {
     const double* arow = a.row_data(i);
     const double xi = x[i];
     if (xi == 0.0) continue;
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += arow[j] * xi;
+    kern::axpy(a.cols(), xi, arow, y.data());
   }
   return y;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.hpp"
 #include "util/assert.hpp"
 
 namespace vmap::linalg {
@@ -19,18 +20,18 @@ double Vector::at(std::size_t i) const {
 
 Vector& Vector::operator+=(const Vector& rhs) {
   VMAP_REQUIRE(size() == rhs.size(), "vector size mismatch in +=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  kern::add(data_.size(), rhs.data_.data(), data_.data());
   return *this;
 }
 
 Vector& Vector::operator-=(const Vector& rhs) {
   VMAP_REQUIRE(size() == rhs.size(), "vector size mismatch in -=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  kern::sub(data_.size(), rhs.data_.data(), data_.data());
   return *this;
 }
 
 Vector& Vector::operator*=(double s) {
-  for (double& v : data_) v *= s;
+  kern::scale(data_.size(), s, data_.data());
   return *this;
 }
 
@@ -99,6 +100,11 @@ Vector operator*(double s, Vector v) {
   return v;
 }
 
+// dot and norm2_squared above keep the sequential left-to-right
+// accumulation on purpose: it is the canonical reduction order every
+// solver scalar (and therefore every byte-gated baseline) was produced
+// with. kern::dot uses a different (4-lane strided) order and must not be
+// swapped in here.
 double dot(const Vector& a, const Vector& b) {
   VMAP_REQUIRE(a.size() == b.size(), "vector size mismatch in dot");
   double acc = 0.0;
@@ -108,7 +114,7 @@ double dot(const Vector& a, const Vector& b) {
 
 void axpy(double s, const Vector& x, Vector& y) {
   VMAP_REQUIRE(x.size() == y.size(), "vector size mismatch in axpy");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += s * x[i];
+  kern::axpy(x.size(), s, x.data(), y.data());
 }
 
 }  // namespace vmap::linalg

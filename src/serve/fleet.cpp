@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <utility>
 
@@ -136,6 +137,58 @@ IngestResult MonitorFleet::ingest(Reading reading) {
   return {false, RejectReason::kShed};
 }
 
+ProducerId MonitorFleet::register_producer() {
+  VMAP_REQUIRE(!running(), "register_producer while the fleet is running");
+  const ProducerId id = producer_count_++;
+  for (auto& shard : shards_)
+    shard->rings.push_back(std::make_unique<SpscRing<Reading>>(
+        std::max<std::size_t>(1, config_.producer_ring_capacity)));
+  return id;
+}
+
+IngestResult MonitorFleet::ingest(ProducerId producer, Reading reading) {
+  if (!accepting_.load(std::memory_order_acquire))
+    return {false, RejectReason::kStopped};
+  if (reading.chip >= chips_.size())
+    return {false, RejectReason::kUnknownChip};
+  VMAP_REQUIRE(producer < producer_count_, "unknown producer id");
+  const ChipId chip = reading.chip;
+  reading.ingest_ms = now_ms();
+  ingested_.fetch_add(1, kRelaxed);
+  Shard& shard = *shards_[shard_of(chip)];
+  if (shard.rings[producer]->push(std::move(reading))) {
+    enqueued_.fetch_add(1, kRelaxed);
+    return {true, RejectReason::kNone};
+  }
+  // Ring full: shed the newest, exactly like a full shard queue. Spilling
+  // into the shared queue instead would reorder this producer's feed
+  // around its ring backlog and the per-chip sequence check would then
+  // reject the ring's stragglers as stale replays.
+  shed_.fetch_add(1, kRelaxed);
+  chips_[chip]->count_shed();
+  return {false, RejectReason::kShed};
+}
+
+bool MonitorFleet::drain_rings(Shard& shard, std::vector<Reading>& batch,
+                               std::uint64_t my_gen, std::size_t limit) {
+  if (shard.rings.empty()) return true;
+  std::lock_guard<std::mutex> lock(shard.inflight_mutex);
+  if (shard.generation != my_gen) return false;
+  Reading reading;
+  for (auto& ring : shard.rings) {
+    while (batch.size() < limit && ring->pop(reading))
+      batch.push_back(std::move(reading));
+    if (batch.size() >= limit) break;
+  }
+  return true;
+}
+
+bool MonitorFleet::rings_look_empty(const Shard& shard) const {
+  for (const auto& ring : shard.rings)
+    if (!ring->empty()) return false;
+  return true;
+}
+
 std::size_t MonitorFleet::pump() {
   VMAP_REQUIRE(!running(), "pump() is the non-threaded mode; stop() first");
   std::vector<std::size_t> handled(shards_.size(), 0);
@@ -147,10 +200,13 @@ std::size_t MonitorFleet::pump() {
       std::vector<Reading> batch;
       for (;;) {
         batch.clear();
-        const std::size_t n = shard.queue->pop_batch(
-            batch, config_.max_batch, std::chrono::milliseconds(0));
-        if (n == 0) break;
-        handled[i] += n;
+        shard.queue->pop_batch(batch, config_.max_batch,
+                               std::chrono::milliseconds(0));
+        // Not running, so the generation is quiescent and this task is the
+        // shard's only ring consumer.
+        drain_rings(shard, batch, shard.generation, config_.max_batch);
+        if (batch.empty()) break;
+        handled[i] += batch.size();
         execute_batch(shard, std::move(batch), /*publish=*/false, 0);
         batch = std::vector<Reading>();
       }
@@ -208,6 +264,16 @@ void MonitorFleet::stop() {
   }
   for (auto& shard : shards_)
     if (shard->worker.joinable()) shard->worker.join();
+  // Ring residue: a producer racing stop() can land a push after its
+  // shard's worker checked the rings for the last time. Decide the
+  // stragglers here — stop() never discards an admitted reading.
+  for (auto& shard : shards_) {
+    std::vector<Reading> residue;
+    drain_rings(*shard, residue, shard->generation,
+                std::numeric_limits<std::size_t>::max());
+    if (!residue.empty())
+      execute_batch(*shard, std::move(residue), /*publish=*/false, 0);
+  }
   // Fresh queues so the stopped fleet can still be ingested into and
   // pump()ed (tests, checkpoint-then-inspect flows).
   for (auto& shard : shards_) {
@@ -223,10 +289,30 @@ void MonitorFleet::worker_loop(Shard& shard, BoundedQueue<Reading>* queue,
   std::vector<Reading> batch;
   for (;;) {
     batch.clear();
-    const std::size_t n = queue->pop_batch(batch, config_.max_batch,
-                                           std::chrono::milliseconds(2));
-    if (n == 0) {
-      if (queue->closed() && queue->size() == 0) return;
+    // Busy rings: poll the queue instead of sleeping on it, so ring
+    // traffic is never throttled by the queue's empty-wait. (Ring pushes
+    // do not signal the queue's condvar; sleeping here would cap ring
+    // throughput at one batch per timeout.)
+    const auto wait = rings_look_empty(shard) ? std::chrono::milliseconds(2)
+                                              : std::chrono::milliseconds(0);
+    queue->pop_batch(batch, config_.max_batch, wait);
+    if (!drain_rings(shard, batch, my_gen, 2 * config_.max_batch)) {
+      // Failed over between popping and draining: hand the queue items
+      // back to the front of the live queue (they predate its contents)
+      // and retire; the rings now belong to the replacement.
+      if (!batch.empty()) {
+        const std::size_t count = batch.size();
+        std::lock_guard<std::mutex> route(shard.route_mutex);
+        if (!shard.queue->force_push_front(std::move(batch)))
+          shed_.fetch_add(count, kRelaxed);  // unreachable by design
+      }
+      return;
+    }
+    if (batch.empty()) {
+      // rings_look_empty is exact here: this worker still owns the
+      // generation, so it is the rings' consumer.
+      if (queue->closed() && queue->size() == 0 && rings_look_empty(shard))
+        return;
       continue;
     }
     if (!execute_batch(shard, std::move(batch), /*publish=*/true, my_gen))
@@ -349,6 +435,9 @@ void MonitorFleet::watchdog_loop() {
         std::lock_guard<std::mutex> route(shard.route_mutex);
         backlog = shard.queue->size();
       }
+      // Ring backlog counts toward the stall signal too: a worker wedged
+      // with only ring traffic pending must still fail over.
+      for (const auto& ring : shard.rings) backlog += ring->approx_size();
       {
         std::lock_guard<std::mutex> lock(shard.inflight_mutex);
         if (!shard.inflight_stolen)

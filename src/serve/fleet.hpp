@@ -49,6 +49,7 @@
 #include "core/pipeline.hpp"
 #include "serve/bounded_queue.hpp"
 #include "serve/chip_domain.hpp"
+#include "serve/spsc_ring.hpp"
 #include "serve/types.hpp"
 #include "util/status.hpp"
 
@@ -74,6 +75,19 @@ class MonitorFleet {
   /// the overload shed policy. The decision itself happens later on the
   /// shard (pump() or a worker thread).
   IngestResult ingest(Reading reading);
+
+  /// Registers an ingestion lane for one producer thread: one SPSC ring
+  /// per shard, giving that thread a mutex-free ingest fast path. Only
+  /// valid while not running. A given chip's feed must stay on one path —
+  /// either a producer lane or plain ingest() — or the per-chip sequence
+  /// check would see the two paths' interleaving as stale replays.
+  ProducerId register_producer();
+
+  /// Mutex-free fast-path admission (same shed policy, same accounting) —
+  /// safe only from the single thread driving this producer id. A full
+  /// ring sheds the newest reading; it never spills into the shared queue,
+  /// which would reorder the producer's feed around its ring backlog.
+  IngestResult ingest(ProducerId producer, Reading reading);
 
   /// Deterministic mode: decides everything currently queued, one parallel
   /// task per shard on the global pool. Not concurrent with start().
@@ -120,6 +134,10 @@ class MonitorFleet {
   struct Shard {
     std::unique_ptr<BoundedQueue<Reading>> queue;
     std::mutex route_mutex;  ///< guards `queue` (producers + failover)
+    /// One SPSC ingestion ring per registered producer. The vector itself
+    /// only changes while the fleet is stopped; ring consumption is
+    /// serialized by inflight_mutex (see drain_rings).
+    std::vector<std::unique_ptr<SpscRing<Reading>>> rings;
     /// Items handled since start; the watchdog's liveness signal.
     std::atomic<std::uint64_t> handled{0};
     /// Inflight micro-batch, shared with the watchdog for theft.
@@ -152,6 +170,17 @@ class MonitorFleet {
   /// the replacement's responsibility and the caller must exit.
   bool execute_batch(Shard& shard, std::vector<Reading> batch, bool publish,
                      std::uint64_t my_gen);
+  /// Tops `batch` up to `limit` items from the shard's producer rings.
+  /// The consumer side of every ring is serialized by inflight_mutex, and
+  /// the generation check inside keeps a retired worker from consuming
+  /// concurrently with its replacement. Returns false when the shard has
+  /// failed over past `my_gen`; the caller must hand back what it popped
+  /// and exit without touching the rings.
+  bool drain_rings(Shard& shard, std::vector<Reading>& batch,
+                   std::uint64_t my_gen, std::size_t limit);
+  /// Racy any-thread check used to pick the queue wait: false negatives
+  /// just cost one short queue timeout.
+  bool rings_look_empty(const Shard& shard) const;
   void decide_one(const Reading& reading, const linalg::Vector* precomputed);
   void watchdog_loop();
   void fail_over(std::size_t shard_index);
@@ -160,6 +189,7 @@ class MonitorFleet {
   }
 
   FleetConfig config_;
+  std::size_t producer_count_ = 0;
   std::vector<std::unique_ptr<ChipDomain>> chips_;
   std::vector<std::unique_ptr<std::atomic<double>>> chaos_delay_ms_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -20,6 +20,11 @@ namespace vmap::serve {
 /// Dense chip handle assigned by MonitorFleet::add_chip (0-based).
 using ChipId = std::uint32_t;
 
+/// Dense producer handle assigned by MonitorFleet::register_producer
+/// (0-based). A producer owns one SPSC ingestion ring per shard; the id
+/// must only ever be used from one thread at a time.
+using ProducerId = std::size_t;
+
 inline constexpr ChipId kNoChip = static_cast<ChipId>(-1);
 
 /// One sensor-reading sample as ingested by the fleet.
@@ -98,6 +103,9 @@ struct FleetConfig {
   std::size_t suspend_after = 3;
   /// Group same-model healthy chips into blocked-matmul micro-batches.
   bool batch_predictions = true;
+  /// Capacity of each producer→shard SPSC ingestion ring (rounded up to a
+  /// power of two). Full ring = overload shed, same policy as the queues.
+  std::size_t producer_ring_capacity = 4096;
 };
 
 /// Per-chip accounting snapshot (all counters since registration/restore).

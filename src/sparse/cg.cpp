@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "linalg/kernels.hpp"
 #include "sparse/skyline_cholesky.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -220,7 +221,7 @@ StatusOr<CgResult> conjugate_gradient_impl(const CsrMatrix& a,
     const double rz_next = linalg::dot(r, z);
     const double beta = rz_next / rz;
     rz = rz_next;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    linalg::kern::xpby(n, z.data(), beta, p.data());
   }
   VMAP_LOG(kWarn) << "CG did not converge: rel residual "
                   << result.relative_residual << " after "

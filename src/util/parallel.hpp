@@ -58,4 +58,52 @@ void parallel_for(std::size_t begin, std::size_t end,
 /// Runs the given tasks concurrently; blocks until all complete.
 void parallel_invoke(const std::vector<std::function<void()>>& tasks);
 
+// --- work partitioning ----------------------------------------------------
+//
+// The shared chunk-size heuristic for every data-parallel call site. A
+// dispatched chunk has a real fixed cost (pool wakeup, condvar round-trip,
+// a cold cache) — per-row tasks amortize none of it. One quantum of work
+// per chunk keeps the overhead fraction bounded; the per-thread cap keeps
+// scheduling slack without shattering the range.
+
+/// Minimum useful multiply-add count for one dispatched chunk; anything
+/// smaller is dominated by dispatch overhead.
+inline constexpr double kWorkQuantumFlops = 1.0e6;
+
+/// How many contiguous chunks to split `items` of `flops_per_item` work
+/// into: at most `max_per_thread` chunks per pool thread, never more than
+/// one chunk per kWorkQuantumFlops of total work, never more than `items`.
+/// Returns 1 when the work is too small to parallelize (callers should run
+/// inline), 0 only when items == 0. Thread-count aware but only through
+/// the chunk *count* — callers split [0, items) contiguously, so results
+/// never depend on the pool size.
+std::size_t recommended_chunks(std::size_t items, double flops_per_item,
+                               std::size_t max_per_thread = 4);
+
+/// parallel_for over contiguous sub-ranges of [begin, end) sized by
+/// recommended_chunks; body_range(b, e) must handle any [b, e) slice.
+/// Runs inline (one slice, in order) when the work is too small, the pool
+/// is serial, or the caller is already inside a parallel region.
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end, double flops_per_item,
+    const std::function<void(std::size_t, std::size_t)>& body_range);
+
+/// Cache-line-padded slot for per-thread/per-chunk accumulators: an array
+/// of Padded<double> puts each accumulator on its own line, so concurrent
+/// writers never false-share.
+template <typename T>
+struct alignas(64) Padded {
+  T value{};
+};
+
+/// Sum of partial(b, e) over a fixed partition of [0, n): the partition
+/// depends only on n and flops_per_item (never the pool size), partials
+/// are combined in ascending chunk order on the caller — deterministic at
+/// any thread count. Note the result is chunked-order, not the sequential
+/// left-to-right sum; don't swap it under a byte-gated scalar without
+/// refreshing baselines.
+double parallel_reduce_ordered(
+    std::size_t n, double flops_per_item,
+    const std::function<double(std::size_t, std::size_t)>& partial);
+
 }  // namespace vmap

@@ -6,7 +6,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "core/experiment.hpp"
 #include "core/pipeline.hpp"
 #include "grid/power_grid.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -172,13 +175,240 @@ TEST(ParallelMatmul, TransposedProductsMatchSerialBitwise) {
             0);
 }
 
-// --- bit-identity of the collection / fitting layers ---------------------
-
 bool matrices_identical(const linalg::Matrix& x, const linalg::Matrix& y) {
   return x.rows() == y.rows() && x.cols() == y.cols() &&
          std::memcmp(x.data(), y.data(),
                      x.rows() * x.cols() * sizeof(double)) == 0;
 }
+
+// --- SIMD microkernel bit-identity ---------------------------------------
+//
+// Every kern:: kernel must be byte-identical to its kern::ref:: scalar
+// oracle with SIMD on and off, across empty/odd/prime lengths — the sizes
+// are chosen so every AVX2 main-loop/tail split gets exercised (0 whole
+// vectors, exactly one, one plus every tail length, and long runs).
+
+/// Restores the SIMD dispatch choice when a test ends.
+class SimdGuard {
+ public:
+  SimdGuard() : was_(linalg::kern::simd_enabled()) {}
+  ~SimdGuard() { linalg::kern::set_simd_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+const std::size_t kKernelSizes[] = {0, 1, 2, 3, 5, 7, 8, 13, 16, 17, 31, 64, 97};
+
+std::vector<double> random_doubles(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = rng.bernoulli(0.1) ? 0.0 : rng.normal();
+  return v;
+}
+
+bool bytes_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+TEST(SimdKernels, ElementwiseBitIdenticalToScalarOracle) {
+  SimdGuard guard;
+  for (bool simd : {false, true}) {
+    linalg::kern::set_simd_enabled(simd);
+    for (std::size_t n : kKernelSizes) {
+      const std::vector<double> x = random_doubles(n, 1000 + n);
+      const std::vector<double> y0 = random_doubles(n, 2000 + n);
+
+      std::vector<double> got = y0, want = y0;
+      linalg::kern::axpy(n, 1.7, x.data(), got.data());
+      linalg::kern::ref::axpy(n, 1.7, x.data(), want.data());
+      EXPECT_TRUE(bytes_equal(got, want)) << "axpy n=" << n << " simd=" << simd;
+
+      got = y0, want = y0;
+      linalg::kern::xpby(n, x.data(), -0.3, got.data());
+      linalg::kern::ref::xpby(n, x.data(), -0.3, want.data());
+      EXPECT_TRUE(bytes_equal(got, want)) << "xpby n=" << n << " simd=" << simd;
+
+      got = y0, want = y0;
+      linalg::kern::scale(n, 0.77, got.data());
+      linalg::kern::ref::scale(n, 0.77, want.data());
+      EXPECT_TRUE(bytes_equal(got, want)) << "scale n=" << n;
+
+      got = y0, want = y0;
+      linalg::kern::add(n, x.data(), got.data());
+      linalg::kern::ref::add(n, x.data(), want.data());
+      EXPECT_TRUE(bytes_equal(got, want)) << "add n=" << n;
+
+      got = y0, want = y0;
+      linalg::kern::sub(n, x.data(), got.data());
+      linalg::kern::ref::sub(n, x.data(), want.data());
+      EXPECT_TRUE(bytes_equal(got, want)) << "sub n=" << n;
+
+      got = y0, want = y0;
+      linalg::kern::sub_div(n, x.data(), 3.14159, got.data());
+      linalg::kern::ref::sub_div(n, x.data(), 3.14159, want.data());
+      EXPECT_TRUE(bytes_equal(got, want)) << "sub_div n=" << n;
+
+      std::vector<double> out_got(n, -1.0), out_want(n, -1.0);
+      linalg::kern::mul_to(n, x.data(), y0.data(), out_got.data());
+      linalg::kern::ref::mul_to(n, x.data(), y0.data(), out_want.data());
+      EXPECT_TRUE(bytes_equal(out_got, out_want)) << "mul_to n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, PanelKernelsBitIdenticalToScalarOracle) {
+  SimdGuard guard;
+  for (bool simd : {false, true}) {
+    linalg::kern::set_simd_enabled(simd);
+    for (std::size_t n : kKernelSizes) {
+      const std::vector<double> r0 = random_doubles(n, 10 + n);
+      const std::vector<double> r1 = random_doubles(n, 20 + n);
+      const std::vector<double> r2 = random_doubles(n, 30 + n);
+      const std::vector<double> r3 = random_doubles(n, 40 + n);
+      const std::vector<double> a = random_doubles(n, 50 + n);
+      const std::vector<double> b = random_doubles(n, 60 + n);
+
+      std::vector<double> panel_got(4 * n, -1.0), panel_want(4 * n, -1.0);
+      linalg::kern::pack_panel(n, r0.data(), r1.data(), r2.data(), r3.data(),
+                               panel_got.data());
+      linalg::kern::ref::pack_panel(n, r0.data(), r1.data(), r2.data(),
+                                    r3.data(), panel_want.data());
+      EXPECT_TRUE(bytes_equal(panel_got, panel_want))
+          << "pack_panel n=" << n << " simd=" << simd;
+
+      std::vector<double> d_got(4, -1.0), d_want(4, -1.0);
+      linalg::kern::dot_panel(n, a.data(), panel_got.data(), d_got.data());
+      linalg::kern::ref::dot_panel(n, a.data(), panel_want.data(),
+                                   d_want.data());
+      EXPECT_TRUE(bytes_equal(d_got, d_want)) << "dot_panel n=" << n;
+
+      std::vector<double> da_got(4, -1.0), db_got(4, -1.0);
+      std::vector<double> da_want(4, -1.0), db_want(4, -1.0);
+      linalg::kern::dot_panel2(n, a.data(), b.data(), panel_got.data(),
+                               da_got.data(), db_got.data());
+      linalg::kern::ref::dot_panel2(n, a.data(), b.data(), panel_want.data(),
+                                    da_want.data(), db_want.data());
+      EXPECT_TRUE(bytes_equal(da_got, da_want)) << "dot_panel2 a n=" << n;
+      EXPECT_TRUE(bytes_equal(db_got, db_want)) << "dot_panel2 b n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, StridedReductionsBitIdenticalToScalarOracle) {
+  SimdGuard guard;
+  for (bool simd : {false, true}) {
+    linalg::kern::set_simd_enabled(simd);
+    for (std::size_t n : kKernelSizes) {
+      const std::vector<double> x = random_doubles(n, 70 + n);
+      const std::vector<double> y = random_doubles(n, 80 + n);
+      const double dot_got = linalg::kern::dot(n, x.data(), y.data());
+      const double dot_want = linalg::kern::ref::dot(n, x.data(), y.data());
+      EXPECT_EQ(std::memcmp(&dot_got, &dot_want, sizeof(double)), 0)
+          << "dot n=" << n << " simd=" << simd;
+      const double nrm_got = linalg::kern::nrm2sq(n, x.data());
+      const double nrm_want = linalg::kern::ref::nrm2sq(n, x.data());
+      EXPECT_EQ(std::memcmp(&nrm_got, &nrm_want, sizeof(double)), 0)
+          << "nrm2sq n=" << n << " simd=" << simd;
+    }
+  }
+}
+
+TEST(SimdKernels, MatmulFamilyBitIdenticalAcrossSimdAndThreads) {
+  ThreadCountGuard tguard;
+  SimdGuard sguard;
+  // Odd/prime/empty shapes, plus one large enough (160·131·97 ≈ 4 Mflop)
+  // that dispatch_rows actually fans out at 2+ threads.
+  struct Shape {
+    std::size_t r, k, c;
+  };
+  const Shape shapes[] = {{1, 1, 1}, {3, 5, 2},  {7, 13, 5},   {17, 31, 8},
+                          {0, 4, 2}, {3, 0, 2},  {3, 5, 0},    {160, 131, 97}};
+  for (const Shape& s : shapes) {
+    Rng rng(900 + s.r + s.k + s.c);
+    linalg::Matrix a(s.r, s.k), b(s.k, s.c);
+    linalg::Matrix at(s.k, s.r), bt(s.c, s.k);
+    for (std::size_t i = 0; i < s.r; ++i)
+      for (std::size_t j = 0; j < s.k; ++j)
+        at(j, i) = a(i, j) = rng.bernoulli(0.1) ? 0.0 : rng.normal();
+    for (std::size_t i = 0; i < s.k; ++i)
+      for (std::size_t j = 0; j < s.c; ++j)
+        bt(j, i) = b(i, j) = rng.normal();
+    const linalg::Matrix want = linalg::matmul_reference(a, b);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      for (bool simd : {false, true}) {
+        set_thread_count(threads);
+        linalg::kern::set_simd_enabled(simd);
+        const std::string tag = " shape=" + std::to_string(s.r) + "x" +
+                                std::to_string(s.k) + "x" + std::to_string(s.c) +
+                                " threads=" + std::to_string(threads) +
+                                " simd=" + std::to_string(simd);
+        const linalg::Matrix c1 = linalg::matmul(a, b);
+        EXPECT_TRUE(matrices_identical(c1, want)) << "matmul" << tag;
+        // Aᵀ·B and A·Bᵀ of the transposed operands compute the same
+        // product, each element in the same ascending-k single-accumulator
+        // order as matmul_reference — so all three must agree bytewise.
+        const linalg::Matrix c2 = linalg::matmul_at_b(at, b);
+        EXPECT_TRUE(matrices_identical(c2, want)) << "matmul_at_b" << tag;
+        const linalg::Matrix c3 = linalg::matmul_a_bt(a, bt);
+        EXPECT_TRUE(matrices_identical(c3, want)) << "matmul_a_bt" << tag;
+      }
+    }
+  }
+}
+
+// --- work-quantum chunking helpers ----------------------------------------
+
+TEST(WorkQuantum, RecommendedChunksRespectsFloorsAndCaps) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  // Tiny total work: not worth waking the pool.
+  EXPECT_EQ(recommended_chunks(1000, 10.0), 1u);
+  EXPECT_EQ(recommended_chunks(0, 1e9), 0u);
+  // Huge per-item work: capped by item count.
+  EXPECT_EQ(recommended_chunks(3, 1e9), 3u);
+  // Abundant work: capped by threads * max_per_thread.
+  EXPECT_EQ(recommended_chunks(100000, 1e6), 16u);
+  EXPECT_EQ(recommended_chunks(100000, 1e6, /*max_per_thread=*/1), 4u);
+  // One thread: always inline.
+  set_thread_count(1);
+  EXPECT_EQ(recommended_chunks(100000, 1e6), 1u);
+}
+
+TEST(WorkQuantum, ParallelForChunkedCoversRangeExactlyOnce) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  std::vector<std::atomic<int>> hits(977);
+  parallel_for_chunked(0, 977, /*flops_per_item=*/1e5,
+                       [&](std::size_t b, std::size_t e) {
+                         for (std::size_t i = b; i < e; ++i)
+                           hits[i].fetch_add(1);
+                       });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(WorkQuantum, OrderedReduceIsThreadCountInvariant) {
+  ThreadCountGuard guard;
+  const std::vector<double> v = random_doubles(4001, 4242);
+  const auto partial = [&](std::size_t b, std::size_t e) {
+    double s = 0.0;
+    for (std::size_t i = b; i < e; ++i) s += v[i] * v[i];
+    return s;
+  };
+  set_thread_count(1);
+  const double want = parallel_reduce_ordered(v.size(), 1e4, partial);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    set_thread_count(threads);
+    const double got = parallel_reduce_ordered(v.size(), 1e4, partial);
+    EXPECT_EQ(std::memcmp(&got, &want, sizeof(double)), 0)
+        << "threads=" << threads;
+  }
+}
+
+// --- bit-identity of the collection / fitting layers ---------------------
 
 class ParallelDeterminismTest : public ::testing::Test {
  protected:

@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/checkpoint.hpp"
@@ -427,6 +429,160 @@ TEST_F(CheckpointTest, ChecksumValidForgedCountIsCorruptionNotBadAlloc) {
   EXPECT_FALSE(st.ok());
   EXPECT_EQ(st.code(), ErrorCode::kCorruption);
   EXPECT_EQ(victim->chip_stats(0).samples, 0u);
+}
+
+// ---- SPSC ingestion ring -------------------------------------------------
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(4096).capacity(), 4096u);
+}
+
+TEST(SpscRing, FifoOrderSurvivesManyWraparounds) {
+  SpscRing<int> ring(8);
+  int next_push = 0, next_pop = 0;
+  // Interleave pushes and pops so the indices wrap the 8-slot buffer many
+  // times over; order must hold across every wrap.
+  while (next_pop < 1000) {
+    for (int burst = 0; burst < 5 && next_push < 1000; ++burst) {
+      int v = next_push;
+      if (ring.push(std::move(v))) ++next_push;
+    }
+    int out = -1;
+    while (ring.pop(out)) {
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, FullPushRefusesAndLeavesItemIntact) {
+  SpscRing<std::string> ring(4);
+  for (int i = 0; i < 4; ++i) {
+    std::string s = "item" + std::to_string(i);
+    EXPECT_TRUE(ring.push(std::move(s)));
+  }
+  std::string overflow = "overflow";
+  EXPECT_FALSE(ring.push(std::move(overflow)));
+  EXPECT_EQ(overflow, "overflow");  // untouched on refusal
+  EXPECT_EQ(ring.approx_size(), 4u);
+
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, "item" + std::to_string(i));
+  }
+  EXPECT_FALSE(ring.pop(out));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerDeliversEverythingInOrder) {
+  // One producer thread, one consumer thread, a ring far smaller than the
+  // item count: every full/empty race path runs, and under TSan (the
+  // build-tsan CI job runs this binary) any missing happens-before edge in
+  // the push/pop protocol is a hard failure.
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kItems = 200000;
+  std::thread producer([&] {
+    std::uint64_t v = 0;
+    while (v < kItems) {
+      std::uint64_t item = v;
+      if (ring.push(std::move(item)))
+        ++v;
+      else
+        std::this_thread::yield();
+    }
+  });
+  std::uint64_t expect = 0;
+  while (expect < kItems) {
+    std::uint64_t out = 0;
+    if (ring.pop(out)) {
+      ASSERT_EQ(out, expect);
+      ++expect;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, FleetFastPathLosesNothingAcrossShutdownDrain) {
+  // Producer-lane ingest into a running fleet, stop() mid-stream: every
+  // admitted reading must still be decided (the shutdown drain empties the
+  // rings), and the chip's monitor must have seen the full sequence.
+  SyntheticFleetSpec spec;
+  FleetConfig fc;
+  fc.shards = 2;
+  fc.producer_ring_capacity = 1 << 14;
+  fc.queue_capacity = 1 << 14;
+  MonitorFleet fleet(fc);
+  auto model = make_synthetic_model(spec);
+  constexpr std::size_t kChips = 4;
+  for (std::size_t c = 0; c < kChips; ++c)
+    fleet.add_chip(make_synthetic_monitor(spec, model, false), model);
+  const ProducerId producer = fleet.register_producer();
+
+  fleet.start();
+  constexpr std::uint64_t kSamples = 500;
+  std::uint64_t enqueued = 0;
+  for (std::uint64_t t = 1; t <= kSamples; ++t)
+    for (ChipId chip = 0; chip < kChips; ++chip)
+      if (fleet
+              .ingest(producer, make_reading(chip, t,
+                                             synthetic_reading(spec, chip, t)))
+              .accepted)
+        ++enqueued;
+  fleet.stop();  // shutdown drain: rings + queues must both empty
+
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.enqueued, enqueued);
+  EXPECT_EQ(stats.processed, enqueued);
+  std::uint64_t accepted = 0;
+  for (ChipId chip = 0; chip < kChips; ++chip)
+    accepted += fleet.chip_stats(chip).accepted;
+  EXPECT_EQ(accepted + stats.shed, kSamples * kChips);
+}
+
+TEST(SpscRing, FastPathDecisionsBitIdenticalToQueuePath) {
+  // The same stream through the producer-lane fast path (pump-drained) and
+  // through plain ingest() must produce identical monitor counters — the
+  // ring changes how readings travel, never what is decided.
+  SyntheticFleetSpec spec;
+  auto model = make_synthetic_model(spec);
+  constexpr std::uint64_t kSamples = 300;
+
+  FleetConfig fc;
+  fc.shards = 2;
+  MonitorFleet ring_fleet(fc);
+  ring_fleet.add_chip(make_synthetic_monitor(spec, model, false), model);
+  const ProducerId producer = ring_fleet.register_producer();
+  MonitorFleet queue_fleet(fc);
+  queue_fleet.add_chip(make_synthetic_monitor(spec, model, false), model);
+
+  for (std::uint64_t t = 1; t <= kSamples; ++t) {
+    ring_fleet.ingest(producer,
+                      make_reading(0, t, synthetic_reading(spec, 0, t)));
+    queue_fleet.ingest(make_reading(0, t, synthetic_reading(spec, 0, t)));
+    if (t % 40 == 0) {
+      ring_fleet.pump();
+      queue_fleet.pump();
+    }
+  }
+  ring_fleet.pump();
+  queue_fleet.pump();
+
+  const auto a = ring_fleet.persisted_states();
+  const auto b = queue_fleet.persisted_states();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].monitor.samples, b[0].monitor.samples);
+  EXPECT_EQ(a[0].monitor.alarm_samples, b[0].monitor.alarm_samples);
+  EXPECT_EQ(a[0].monitor.alarm_episodes, b[0].monitor.alarm_episodes);
+  EXPECT_EQ(a[0].last_sequence, b[0].last_sequence);
+  EXPECT_EQ(a[0].accepted, b[0].accepted);
 }
 
 }  // namespace
