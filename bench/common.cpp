@@ -1,5 +1,6 @@
 #include "common.hpp"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -13,7 +14,39 @@
 
 namespace vmap::benchutil {
 
+namespace {
+
+volatile std::sig_atomic_t g_flush_entered = 0;
+
+extern "C" void interrupt_flush_handler(int sig) {
+  // One shot: a second signal while flushing falls straight through to the
+  // default action instead of re-entering the (unsafe) flush path.
+  if (!g_flush_entered) {
+    g_flush_entered = 1;
+    if (trace_enabled()) {
+      const Status st = trace_flush();
+      std::fprintf(stderr, "[signal] trace %s\n",
+                   st.ok() ? "flushed" : st.to_string().c_str());
+    }
+    std::fprintf(stderr, "[signal] interrupted by signal %d; metrics: %s\n",
+                 sig, metrics::snapshot_json().c_str());
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void install_interrupt_flush() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  std::signal(SIGINT, interrupt_flush_handler);
+  std::signal(SIGTERM, interrupt_flush_handler);
+}
+
 void add_common_flags(CliArgs& args) {
+  install_interrupt_flush();
   args.add_flag("cache", "vmap_dataset.cache",
                 "dataset cache path ('' disables caching)");
   args.add_bool("quick", false,

@@ -70,8 +70,19 @@ double calibration_ms();
 void write_report(const CliArgs& args, const Platform* platform,
                   const RunReport& report);
 
-/// Registers the flags shared by all experiment benches.
+/// Registers the flags shared by all experiment benches. Also installs the
+/// SIGINT/SIGTERM teardown handler (install_interrupt_flush) so a ^C'd or
+/// terminated bench still leaves its VMAP_TRACE file and a metrics
+/// snapshot behind.
 void add_common_flags(CliArgs& args);
+
+/// Installs SIGINT/SIGTERM handlers that flush the active VMAP_TRACE trace
+/// file and dump a metrics snapshot to stderr before re-raising the signal
+/// (so the process still dies with the conventional signal exit status).
+/// Best-effort by design: the flush path is not async-signal-safe, which
+/// is acceptable for an interactive interrupt of a bench tool — the
+/// alternative is losing the whole trace every time. Idempotent.
+void install_interrupt_flush();
 
 /// Builds the platform from parsed flags (collects or loads the dataset).
 Platform load_platform(const CliArgs& args);

@@ -1,0 +1,234 @@
+// Chaos harness for the scenario sweep engine.
+//
+// Proves the supervisor's containment story end-to-end: the same tiny
+// scenario matrix is swept once cleanly (the reference), then once per
+// chaos mode, and the final aggregate CSV/JSON must be BYTE-IDENTICAL to
+// the reference every time:
+//   * worker_crash          — every 3rd job's first attempt abort()s;
+//   * worker_hang           — every 3rd job's first attempt stalls until
+//                             the deadline SIGKILLs it;
+//   * worker_garbage_output — every 3rd job's first attempt exits 0 with a
+//                             corrupt RESULT line;
+//   * supervisor_kill       — the whole supervisor process is SIGKILLed
+//                             mid-sweep, then resumed from the journal.
+// A mode passes only with zero lost jobs (every scenario completed) and a
+// byte-identical report; any divergence fails the bench (and CI).
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "sweep/supervisor.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace vmap;
+
+sweep::ScenarioMatrix tiny_matrix(std::uint64_t seed) {
+  // 3 pad arrangements x 2 workloads = 6 jobs; collection scale trimmed so
+  // one job is a couple of seconds, not minutes.
+  sweep::ScenarioMatrix matrix;
+  matrix.pad_arrangements = {grid::PadArrangement::kSquare,
+                             grid::PadArrangement::kTriangular,
+                             grid::PadArrangement::kHexagonal};
+  matrix.workloads = {"parsec_mini", "idle_wake_storm"};
+  matrix.seed = seed;
+  matrix.train_maps = 20;
+  matrix.test_maps = 10;
+  matrix.warmup_steps = 40;
+  matrix.calibration_steps = 100;
+  return matrix;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+sweep::SweepOptions base_options(const std::string& worker,
+                                 const std::string& work_dir,
+                                 std::size_t parallel) {
+  sweep::SweepOptions options;
+  options.worker_argv = {worker};
+  options.work_dir = work_dir;
+  options.parallel = parallel;
+  options.deadline_ms = 120000;
+  options.max_attempts = 3;
+  return options;
+}
+
+struct ModeOutcome {
+  bool ran = false;
+  bool csv_match = false;
+  bool json_match = false;
+  std::size_t lost = 0;
+  std::size_t retries = 0;
+  std::size_t skipped_resume = 0;
+};
+
+/// Runs the supervisor_kill mode: fork a child that starts the sweep fresh,
+/// SIGKILL it once the journal shows progress, then resume in-process.
+vmap::StatusOr<sweep::SweepResult> run_supervisor_kill(
+    const sweep::ScenarioMatrix& matrix, sweep::SweepOptions options) {
+  const std::string journal_path = options.work_dir + "/sweep.journal";
+  const pid_t child = ::fork();
+  if (child < 0) return Status::Io("fork failed for supervisor_kill");
+  if (child == 0) {
+    // The doomed supervisor. Runs the sweep from scratch; the parent kills
+    // us mid-flight (or we finish first — resume still has to hold).
+    sweep::SweepSupervisor doomed(matrix, options);
+    auto ignored = doomed.run();
+    (void)ignored;
+    ::_exit(0);
+  }
+  // Poll the journal until at least one job completed, then SIGKILL.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto replay = sweep::replay_journal(journal_path);
+    if (replay.ok() && !replay->completed.empty()) break;
+    int status = 0;
+    if (::waitpid(child, &status, WNOHANG) == child) {
+      // Finished before we could kill it; resume over a complete journal
+      // must then skip everything.
+      sweep::SweepOptions resumed = options;
+      resumed.resume = true;
+      return sweep::SweepSupervisor(matrix, resumed).run();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ::kill(child, SIGKILL);
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  sweep::SweepOptions resumed = options;
+  resumed.resume = true;
+  return sweep::SweepSupervisor(matrix, resumed).run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args("sweep_suite — chaos harness for the scenario sweep engine");
+  benchutil::add_common_flags(args);
+  args.add_flag("worker", "tools/sweep_worker",
+                "path to the sweep_worker binary");
+  args.add_flag("inject", "all",
+                "chaos mode: none|worker_crash|worker_hang|"
+                "worker_garbage_output|supervisor_kill|all");
+  args.add_flag("work-dir", "sweep_out", "scratch directory for journals");
+  args.add_flag("parallel", "2", "concurrent worker subprocesses");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    const std::string worker = args.get("worker");
+    const std::string root = args.get("work-dir");
+    const auto parallel =
+        static_cast<std::size_t>(args.get_int("parallel"));
+    const auto matrix =
+        tiny_matrix(static_cast<std::uint64_t>(args.get_int("seed")));
+
+    std::vector<std::string> modes;
+    const std::string inject = args.get("inject");
+    if (inject == "all")
+      modes = {"worker_crash", "worker_hang", "worker_garbage_output",
+               "supervisor_kill"};
+    else if (inject != "none")
+      modes = {inject};
+
+    // Reference sweep: no chaos. Every mode is byte-compared against it.
+    std::filesystem::create_directories(root + "/ref");
+    sweep::SweepOptions ref_options =
+        base_options(worker, root + "/ref", parallel);
+    auto ref = sweep::SweepSupervisor(matrix, ref_options).run();
+    if (!ref.ok()) {
+      std::fprintf(stderr, "error: reference sweep failed: %s\n",
+                   ref.status().to_string().c_str());
+      return 1;
+    }
+    const std::string ref_csv = slurp(root + "/ref/sweep_report.csv");
+    const std::string ref_json = slurp(root + "/ref/sweep_report.json");
+    std::printf("reference: %zu jobs, %zu completed, %zu quarantined\n",
+                ref->jobs_total, ref->jobs_completed,
+                ref->jobs_quarantined);
+    if (ref->jobs_quarantined != 0) {
+      std::fprintf(stderr,
+                   "error: reference sweep quarantined %zu jobs\n",
+                   ref->jobs_quarantined);
+      return 1;
+    }
+
+    benchutil::RunReport report("sweep_suite");
+    report.scalar("jobs", static_cast<double>(ref->jobs_total));
+    report.scalar("ref.completed",
+                  static_cast<double>(ref->jobs_completed));
+
+    TablePrinter table({"chaos mode", "completed", "lost", "retries",
+                        "resumed", "csv", "json"});
+    bool all_ok = true;
+    for (const std::string& mode : modes) {
+      const std::string dir = root + "/" + mode;
+      std::filesystem::create_directories(dir);
+      sweep::SweepOptions options = base_options(worker, dir, parallel);
+      vmap::StatusOr<sweep::SweepResult> run =
+          Status::InvalidArgument("unset");
+      if (mode == "supervisor_kill") {
+        run = run_supervisor_kill(matrix, options);
+      } else {
+        options.chaos.mode = mode;
+        options.chaos.every_nth = 3;
+        run = sweep::SweepSupervisor(matrix, options).run();
+      }
+      ModeOutcome out;
+      if (!run.ok()) {
+        std::fprintf(stderr, "error: %s sweep failed: %s\n", mode.c_str(),
+                     run.status().to_string().c_str());
+        all_ok = false;
+      } else {
+        out.ran = true;
+        out.lost = run->jobs_total - run->jobs_completed;
+        out.retries = run->retries_total;
+        out.skipped_resume = run->jobs_skipped_resume;
+        out.csv_match = slurp(dir + "/sweep_report.csv") == ref_csv;
+        out.json_match = slurp(dir + "/sweep_report.json") == ref_json;
+        if (!out.csv_match || !out.json_match || out.lost != 0)
+          all_ok = false;
+        table.add_row({mode, TablePrinter::fmt(run->jobs_completed),
+                       TablePrinter::fmt(out.lost),
+                       TablePrinter::fmt(out.retries),
+                       TablePrinter::fmt(out.skipped_resume),
+                       out.csv_match ? "match" : "DIFF",
+                       out.json_match ? "match" : "DIFF"});
+      }
+      report.scalar("match." + mode,
+                    (out.csv_match && out.json_match) ? 1.0 : 0.0);
+      report.scalar("lost." + mode, static_cast<double>(out.lost));
+    }
+
+    table.print(std::cout);
+    std::printf("\n(every chaos mode must complete all jobs and reproduce "
+                "the reference report byte-for-byte)\n");
+    benchutil::write_report(args, nullptr, report);
+    if (!all_ok) {
+      std::fprintf(stderr, "error: chaos sweep diverged from reference\n");
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

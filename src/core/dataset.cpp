@@ -119,6 +119,10 @@ std::uint64_t platform_hash(const grid::GridConfig& g,
   mix_u64(f.cores_x);
   mix_u64(f.cores_y);
   mix_u64(f.core_margin);
+  // Mixed only when non-square so every historic (square-lattice) cache
+  // keeps its hash; any other arrangement keys a distinct dataset.
+  if (g.pad_arrangement != grid::PadArrangement::kSquare)
+    mix_u64(static_cast<std::uint64_t>(g.pad_arrangement));
   return h;
 }
 

@@ -7,6 +7,15 @@
 
 namespace vmap::grid {
 
+const char* pad_arrangement_name(PadArrangement arrangement) {
+  switch (arrangement) {
+    case PadArrangement::kSquare: return "square";
+    case PadArrangement::kTriangular: return "triangular";
+    case PadArrangement::kHexagonal: return "hexagonal";
+  }
+  return "?";
+}
+
 PowerGrid::PowerGrid(const GridConfig& config) : config_(config) {
   VMAP_REQUIRE(config_.nx >= 2 && config_.ny >= 2,
                "grid needs at least 2x2 nodes");
@@ -53,12 +62,28 @@ PowerGrid::PowerGrid(const GridConfig& config) : config_(config) {
     return y * config_.nx + x;
   };
 
-  // Pad array: regular lattice with a half-spacing inset. In two-layer
-  // mode pads attach to the nearest top-layer node.
+  // Pad array: a lattice with a half-spacing inset. Square is the classic
+  // regular array; triangular staggers every other row by half a spacing;
+  // hexagonal additionally compresses the row pitch to spacing·√3/2
+  // (rounded to a tile, min 1). In two-layer mode pads attach to the
+  // nearest top-layer node.
   pad_mask_.assign(total_nodes_, false);
   const std::size_t half = config_.pad_spacing / 2;
-  for (std::size_t y = half; y < config_.ny; y += config_.pad_spacing) {
-    for (std::size_t x = half; x < config_.nx; x += config_.pad_spacing) {
+  const bool staggered =
+      config_.pad_arrangement != PadArrangement::kSquare;
+  std::size_t row_pitch = config_.pad_spacing;
+  if (config_.pad_arrangement == PadArrangement::kHexagonal) {
+    row_pitch = static_cast<std::size_t>(
+        static_cast<double>(config_.pad_spacing) * 0.8660254037844386 + 0.5);
+    if (row_pitch == 0) row_pitch = 1;
+  }
+  std::size_t row = 0;
+  for (std::size_t y = half; y < config_.ny; y += row_pitch, ++row) {
+    const std::size_t x_offset =
+        (staggered && row % 2 == 1) ? config_.pad_spacing / 2 : 0;
+    for (std::size_t x0 = half; x0 < config_.nx; x0 += config_.pad_spacing) {
+      const std::size_t x = x0 + x_offset;
+      if (x >= config_.nx) continue;
       std::size_t id;
       if (config_.two_layer) {
         const std::size_t tx = std::min(

@@ -32,6 +32,21 @@
 
 namespace vmap::grid {
 
+/// C4 pad lattice geometry. Square is the classic regular array; the
+/// triangular and hexagonal variants follow Carroll & Ortega-Cerdà's
+/// analysis of optimal pad arrangements: triangular staggers alternate pad
+/// rows by half a spacing (the densest circle packing), hexagonal keeps the
+/// stagger but compresses the row pitch to spacing·√3/2 so pads sit on a
+/// honeycomb lattice.
+enum class PadArrangement {
+  kSquare = 0,
+  kTriangular = 1,
+  kHexagonal = 2,
+};
+
+/// Stable lower-case name ("square", "triangular", "hexagonal").
+const char* pad_arrangement_name(PadArrangement arrangement);
+
 /// Geometry and electrical parameters of the grid.
 struct GridConfig {
   std::size_t nx = 64;  ///< device-layer nodes along x
@@ -43,6 +58,8 @@ struct GridConfig {
   double pad_inductance = 0.0;        ///< H per VDD pad (0 = ideal pad)
   double vdd = 1.0;                   ///< V
   std::size_t pad_spacing = 12;       ///< pads every this many tiles
+  /// Pad lattice shape (square keeps the historic regular array).
+  PadArrangement pad_arrangement = PadArrangement::kSquare;
 
   // Optional top-metal layer.
   bool two_layer = false;

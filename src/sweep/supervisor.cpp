@@ -1,0 +1,342 @@
+#include "sweep/supervisor.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "util/atomic_file.hpp"
+#include "util/log.hpp"
+#include "util/subprocess.hpp"
+
+namespace vmap::sweep {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt_hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+StatusOr<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Io("cannot read worker output: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+std::string SweepResult::csv() const {
+  std::string out =
+      "job,scenario,pads,density,layers,cores,vdd_offset,workload,status,"
+      "sensors,placement,te,rel_err\n";
+  for (const SweepRow& row : rows) {
+    const Scenario& sc = row.scenario;
+    out += std::to_string(row.job_index) + "," + sc.id() + "," +
+           grid::pad_arrangement_name(sc.pads) + "," +
+           fmt_double(sc.density) + "," + (sc.two_layer ? "2" : "1") + "," +
+           std::to_string(sc.cores_x) + "x" + std::to_string(sc.cores_y) +
+           "," + fmt_double(sc.vdd_offset) + "," + sc.workload + ",";
+    if (row.completed) {
+      out += "completed," + std::to_string(row.result.sensors) + "," +
+             fmt_hex(row.result.placement) + "," + fmt_double(row.result.te) +
+             "," + fmt_double(row.result.rel_err);
+    } else {
+      out += "quarantined:" + row.failure_class + ",0,,,";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string SweepResult::json(std::uint64_t matrix_hash) const {
+  // Only deterministic fields: no attempt counts, no resume bookkeeping,
+  // no timings — the bytes must not depend on how the sweep got here.
+  std::string out = "{\n  \"schema\": 1,\n  \"matrix_hash\": \"0x" +
+                    fmt_hex(matrix_hash) + "\",\n  \"jobs\": " +
+                    std::to_string(jobs_total) + ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    out += "    {\"job\": " + std::to_string(row.job_index) +
+           ", \"scenario\": \"" + row.scenario.id() + "\", \"status\": \"";
+    out += row.completed ? "completed" : "quarantined:" + row.failure_class;
+    out += "\"";
+    if (row.completed) {
+      out += ", \"sensors\": " + std::to_string(row.result.sensors) +
+             ", \"placement\": \"0x" + fmt_hex(row.result.placement) +
+             "\", \"te\": " + fmt_double(row.result.te) +
+             ", \"rel_err\": " + fmt_double(row.result.rel_err);
+    }
+    out += "}";
+    if (i + 1 < rows.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+SweepSupervisor::SweepSupervisor(ScenarioMatrix matrix, SweepOptions options)
+    : matrix_(std::move(matrix)), options_(std::move(options)) {}
+
+namespace {
+std::mutex g_journal_mutex;
+}  // namespace
+
+StatusOr<JobResult> SweepSupervisor::run_attempt(
+    std::size_t job_index, const Scenario& scenario, std::size_t attempt,
+    std::string* failure_class) {
+  const ChaosConfig& chaos = options_.chaos;
+  const bool inject =
+      !chaos.mode.empty() && chaos.mode.rfind("worker_", 0) == 0 &&
+      attempt == 0 && chaos.every_nth > 0 &&
+      job_index % chaos.every_nth == 0;
+
+  {
+    JournalRecord rec;
+    rec.event = JobEvent::kDispatched;
+    rec.job_index = job_index;
+    rec.scenario_hash = scenario.hash();
+    rec.attempt = attempt;
+    if (inject) rec.detail = "inject=" + chaos.mode;
+    std::lock_guard<std::mutex> lock(g_journal_mutex);
+    const Status st = journal_.append(rec);
+    if (!st.ok()) {
+      *failure_class = "journal_append";
+      return st;
+    }
+  }
+
+  std::vector<std::string> argv = options_.worker_argv;
+  argv.push_back("--scenario");
+  argv.push_back(scenario.spec());
+  argv.push_back("--job");
+  argv.push_back(std::to_string(job_index));
+  argv.push_back("--attempt");
+  argv.push_back(std::to_string(attempt));
+  if (inject) {
+    argv.push_back("--inject");
+    argv.push_back(chaos.mode);
+  }
+  const std::string out_path =
+      options_.work_dir + "/job_" + std::to_string(job_index) + ".out";
+
+  // An attempt that is *known* to hang gets the short chaos deadline; the
+  // enforcement path (SIGKILL on expiry, classify, retry) is identical.
+  const std::size_t deadline =
+      inject && chaos.mode == "worker_hang" ? chaos.injected_deadline_ms
+                                            : options_.deadline_ms;
+
+  StatusOr<ExitStatus> exit = run_with_deadline(argv, out_path, deadline);
+
+  Status failure;
+  if (!exit.ok()) {
+    *failure_class = "spawn_failure";
+    failure = Status::Io("worker spawn failed").with_cause(exit.status());
+  } else if (exit->deadline_killed) {
+    *failure_class = "hang_timeout";
+    failure = Status::Timeout("worker exceeded " + std::to_string(deadline) +
+                              " ms deadline");
+  } else if (exit->signaled) {
+    *failure_class = "crash_signal_" + std::to_string(exit->code);
+    failure = Status::Io("worker killed by signal " +
+                         std::to_string(exit->code));
+  } else if (exit->code != 0) {
+    *failure_class = "exit_" + std::to_string(exit->code);
+    failure = Status::Io("worker exited with code " +
+                         std::to_string(exit->code));
+  } else {
+    StatusOr<std::string> output = read_file(out_path);
+    if (!output.ok()) {
+      *failure_class = "garbage_output";
+      failure = Status::Corruption("worker output unreadable")
+                    .with_cause(output.status());
+    } else {
+      StatusOr<JobResult> result = parse_result_output(*output);
+      if (result.ok()) {
+        std::remove(out_path.c_str());
+        return result;
+      }
+      *failure_class = "garbage_output";
+      failure = result.status();
+    }
+  }
+
+  if (options_.verbose)
+    VMAP_LOG(kWarn) << "sweep job " << job_index << " attempt " << attempt
+                    << " failed (" << *failure_class
+                    << "): " << failure.to_string();
+  {
+    JournalRecord rec;
+    rec.event = JobEvent::kFailed;
+    rec.job_index = job_index;
+    rec.scenario_hash = scenario.hash();
+    rec.attempt = attempt;
+    rec.detail = *failure_class;
+    std::lock_guard<std::mutex> lock(g_journal_mutex);
+    const Status st = journal_.append(rec);
+    if (!st.ok()) return st;
+  }
+  return failure;
+}
+
+Status SweepSupervisor::run_job(std::size_t job_index,
+                                const Scenario& scenario, SweepRow& row) {
+  RetryOptions retry;
+  retry.max_attempts = options_.max_attempts;
+  retry.base_backoff_ms = options_.base_backoff_ms;
+  retry.backoff_multiplier = options_.backoff_multiplier;
+
+  std::string failure_class;
+  std::size_t attempt = 0;
+  StatusOr<JobResult> result =
+      retry_with_backoff(retry, [&]() -> StatusOr<JobResult> {
+        const std::size_t k = attempt++;
+        return run_attempt(job_index, scenario, k, &failure_class);
+      });
+  row.attempts = attempt;
+
+  JournalRecord rec;
+  rec.job_index = job_index;
+  rec.scenario_hash = scenario.hash();
+  rec.attempt = attempt == 0 ? 0 : attempt - 1;
+  if (result.ok()) {
+    row.completed = true;
+    row.result = *result;
+    rec.event = JobEvent::kCompleted;
+    rec.detail = encode_result_payload(*result);
+  } else {
+    // Retries exhausted: the failure reproduced every time, so treat it as
+    // deterministic, record the class, and let the sweep continue.
+    row.completed = false;
+    row.failure_class = failure_class;
+    rec.event = JobEvent::kQuarantined;
+    rec.detail = failure_class;
+  }
+  std::lock_guard<std::mutex> lock(g_journal_mutex);
+  return journal_.append(rec);
+}
+
+StatusOr<SweepResult> SweepSupervisor::run() {
+  const std::vector<Scenario> scenarios = matrix_.expand();
+  if (scenarios.empty())
+    return Status::InvalidArgument("scenario matrix expands to zero jobs");
+  matrix_hash_ = matrix_.hash();
+  const std::string journal_path = options_.work_dir + "/sweep.journal";
+
+  SweepResult result;
+  result.jobs_total = scenarios.size();
+  result.rows.resize(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    result.rows[i].job_index = i;
+    result.rows[i].scenario = scenarios[i];
+  }
+
+  std::vector<std::size_t> pending;
+  if (options_.resume) {
+    StatusOr<JournalReplay> replay = replay_journal(journal_path);
+    if (!replay.ok()) return replay.status();
+    if (replay->matrix_hash != matrix_hash_)
+      return Status::InvalidArgument(
+          "cannot resume: journal was written for a different scenario "
+          "matrix: " + journal_path);
+    result.duplicate_terminals = replay->duplicate_terminals;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      const auto completed = replay->completed.find(i);
+      if (completed != replay->completed.end()) {
+        if (completed->second.scenario_hash != scenarios[i].hash())
+          return Status::Corruption(
+              "journal completion record does not match scenario " +
+              std::to_string(i) + ": " + journal_path);
+        StatusOr<JobResult> parsed =
+            parse_result_payload(completed->second.detail);
+        if (!parsed.ok())
+          return Status::Corruption(
+                     "journal completion payload unparseable for job " +
+                     std::to_string(i) + ": " + journal_path)
+              .with_cause(parsed.status());
+        result.rows[i].completed = true;
+        result.rows[i].result = *parsed;
+        result.rows[i].from_journal = true;
+        ++result.jobs_skipped_resume;
+        continue;
+      }
+      const auto quarantined = replay->quarantined.find(i);
+      if (quarantined != replay->quarantined.end()) {
+        result.rows[i].completed = false;
+        result.rows[i].failure_class = quarantined->second.detail;
+        result.rows[i].from_journal = true;
+        ++result.jobs_skipped_resume;
+        continue;
+      }
+      pending.push_back(i);  // fresh or in-flight at the kill: re-run
+    }
+    StatusOr<SweepJournal> journal =
+        SweepJournal::open_append(journal_path, matrix_hash_);
+    if (!journal.ok()) return journal.status();
+    journal_ = std::move(*journal);
+  } else {
+    StatusOr<SweepJournal> journal =
+        SweepJournal::create(journal_path, matrix_hash_);
+    if (!journal.ok()) return journal.status();
+    journal_ = std::move(*journal);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) pending.push_back(i);
+  }
+
+  // Dispatch: a small crew of supervisor threads, each claiming the next
+  // pending job and driving it through spawn/deadline/retry/terminal-state.
+  // Rows are disjoint slots, so only the journal needs a lock.
+  std::atomic<std::size_t> next{0};
+  const std::size_t crew =
+      std::max<std::size_t>(1, std::min(options_.parallel, pending.size()));
+  std::vector<Status> crew_status(crew);
+  std::vector<std::thread> threads;
+  threads.reserve(crew);
+  for (std::size_t t = 0; t < crew; ++t) {
+    threads.emplace_back([&, t]() {
+      while (true) {
+        const std::size_t slot = next.fetch_add(1);
+        if (slot >= pending.size()) return;
+        const std::size_t job = pending[slot];
+        const Status st = run_job(job, scenarios[job], result.rows[job]);
+        if (!st.ok()) {
+          crew_status[t] = st;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (const Status& st : crew_status)
+    if (!st.ok()) return st;
+
+  for (const SweepRow& row : result.rows) {
+    if (row.completed)
+      ++result.jobs_completed;
+    else
+      ++result.jobs_quarantined;
+    result.attempts_total += row.attempts;
+    if (row.attempts > 1) result.retries_total += row.attempts - 1;
+  }
+
+  Status st = write_file_atomic(options_.work_dir + "/sweep_report.csv",
+                                result.csv());
+  if (!st.ok()) return st;
+  st = write_file_atomic(options_.work_dir + "/sweep_report.json",
+                         result.json(matrix_hash_));
+  if (!st.ok()) return st;
+  return result;
+}
+
+}  // namespace vmap::sweep

@@ -1,0 +1,115 @@
+#pragma once
+// Crash-isolated, resumable scenario sweep supervisor.
+//
+// SweepSupervisor expands a ScenarioMatrix into jobs and dispatches each to
+// a fork/exec'd worker subprocess, so a segfault, abort, OOM kill, or hang
+// inside one scenario's solves is fully contained. Per job it enforces:
+//   * a wall-clock deadline (SIGKILL on expiry, classified "hang_timeout");
+//   * bounded retries with the deterministic util/status backoff schedule
+//     (crash / timeout / garbage output are all treated as potentially
+//     transient);
+//   * quarantine once retries are exhausted — the failure class is
+//     recorded and the sweep continues instead of aborting.
+// Every state transition is appended to the checksummed sweep journal, so
+// `resume = true` skips completed jobs exactly-once (reusing their recorded
+// result payloads) and re-runs in-flight ones.
+//
+// The aggregate CSV/JSON report is derived only from deterministic fields
+// (scenario axes + worker results + terminal status), sorted in canonical
+// job order — byte-identical whether the sweep ran uninterrupted, was
+// SIGKILLed and resumed, or ran under worker chaos injection.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/journal.hpp"
+#include "sweep/scenario.hpp"
+#include "util/status.hpp"
+
+namespace vmap::sweep {
+
+/// Worker-side chaos injection (bench/sweep_suite's --inject modes).
+/// `mode` is passed to the worker as --inject on the *first* attempt of
+/// every `every_nth`-th job; retries run clean, so a chaos sweep must
+/// still complete every job. supervisor_kill is not a worker mode — the
+/// bench kills the whole supervisor process instead.
+struct ChaosConfig {
+  std::string mode;            ///< "", worker_crash, worker_hang,
+                               ///< worker_garbage_output
+  std::size_t every_nth = 3;   ///< inject jobs 0, n, 2n, ...
+  /// Deadline for attempts that carry a hang injection (the worker is
+  /// guaranteed to stall immediately; waiting the full job deadline would
+  /// only slow the harness down).
+  std::size_t injected_deadline_ms = 2000;
+};
+
+struct SweepOptions {
+  /// Worker command prefix, e.g. {"build/tools/sweep_worker"}. The
+  /// supervisor appends: --scenario <spec> --job <i> --attempt <k>
+  /// [--inject <mode>].
+  std::vector<std::string> worker_argv;
+  /// Journal, per-job output files, and reports live here (must exist).
+  std::string work_dir = "sweep_out";
+  std::size_t parallel = 1;        ///< concurrent worker subprocesses
+  std::size_t deadline_ms = 120000;  ///< per-attempt wall clock (0 = none)
+  std::size_t max_attempts = 3;
+  std::size_t base_backoff_ms = 0;   ///< deterministic schedule base
+  double backoff_multiplier = 2.0;
+  bool resume = false;             ///< replay + continue the journal
+  bool verbose = false;
+  ChaosConfig chaos;
+};
+
+/// One aggregate-report row (canonical job order).
+struct SweepRow {
+  std::size_t job_index = 0;
+  Scenario scenario;
+  bool completed = false;
+  std::string failure_class;  ///< empty when completed
+  JobResult result;           ///< zeros when quarantined
+  std::size_t attempts = 0;   ///< observational only — never in the report
+  bool from_journal = false;  ///< resumed without re-running
+};
+
+struct SweepResult {
+  std::vector<SweepRow> rows;
+  std::size_t jobs_total = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t jobs_quarantined = 0;
+  std::size_t jobs_skipped_resume = 0;  ///< satisfied from the journal
+  std::size_t attempts_total = 0;
+  std::size_t retries_total = 0;
+  std::size_t duplicate_terminals = 0;  ///< journal dedupe count
+
+  /// Deterministic aggregate report (no attempt counts, no timings):
+  /// byte-identical across uninterrupted / killed+resumed / chaos runs.
+  std::string csv() const;
+  std::string json(std::uint64_t matrix_hash) const;
+};
+
+class SweepSupervisor {
+ public:
+  SweepSupervisor(ScenarioMatrix matrix, SweepOptions options);
+
+  /// Runs (or resumes) the sweep to completion and writes
+  /// work_dir/sweep_report.{csv,json} atomically. Fails only on harness
+  /// errors (unwritable journal, matrix mismatch on resume) — job
+  /// failures quarantine instead.
+  StatusOr<SweepResult> run();
+
+ private:
+  Status run_job(std::size_t job_index, const Scenario& scenario,
+                 SweepRow& row);
+  StatusOr<JobResult> run_attempt(std::size_t job_index,
+                                  const Scenario& scenario,
+                                  std::size_t attempt,
+                                  std::string* failure_class);
+
+  ScenarioMatrix matrix_;
+  SweepOptions options_;
+  SweepJournal journal_;
+  std::uint64_t matrix_hash_ = 0;
+};
+
+}  // namespace vmap::sweep

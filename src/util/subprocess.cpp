@@ -1,0 +1,135 @@
+#include "util/subprocess.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace vmap {
+
+ChildProcess::ChildProcess(ChildProcess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      reaped_(std::exchange(other.reaped_, false)),
+      status_(other.status_) {}
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    pid_ = std::exchange(other.pid_, -1);
+    reaped_ = std::exchange(other.reaped_, false);
+    status_ = other.status_;
+  }
+  return *this;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+StatusOr<ChildProcess> ChildProcess::spawn(
+    const std::vector<std::string>& argv, const std::string& stdout_path) {
+  if (argv.empty())
+    return Status::InvalidArgument("spawn needs a non-empty argv");
+
+  // Build the exec vector before forking: the child must only call
+  // async-signal-safe functions (we may be forking from a threaded
+  // supervisor, and malloc in the child can deadlock).
+  std::vector<const char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) cargv.push_back(a.c_str());
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return Status::Io("fork failed for " + argv.front());
+  if (pid == 0) {
+    if (!stdout_path.empty()) {
+      const int fd = ::open(stdout_path.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        if (fd > STDERR_FILENO) ::close(fd);
+      }
+    }
+    ::execvp(cargv[0], const_cast<char* const*>(cargv.data()));
+    _exit(127);  // exec failed; 127 mirrors the shell convention
+  }
+
+  ChildProcess child;
+  child.pid_ = pid;
+  return child;
+}
+
+std::optional<ExitStatus> ChildProcess::try_wait() {
+  if (pid_ <= 0) return std::nullopt;
+  if (reaped_) return status_;
+  int wstatus = 0;
+  const pid_t r = ::waitpid(static_cast<pid_t>(pid_), &wstatus, WNOHANG);
+  if (r == 0) return std::nullopt;
+  reaped_ = true;
+  if (r > 0 && WIFSIGNALED(wstatus)) {
+    status_.signaled = true;
+    status_.code = WTERMSIG(wstatus);
+  } else if (r > 0 && WIFEXITED(wstatus)) {
+    status_.signaled = false;
+    status_.code = WEXITSTATUS(wstatus);
+  } else {
+    // waitpid error (ECHILD after an external reap): report as a crash.
+    status_.signaled = true;
+    status_.code = 0;
+  }
+  return status_;
+}
+
+ExitStatus ChildProcess::wait() {
+  while (true) {
+    if (auto st = try_wait()) return *st;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void ChildProcess::kill_hard() {
+  if (pid_ > 0 && !reaped_) ::kill(static_cast<pid_t>(pid_), SIGKILL);
+}
+
+#else  // non-POSIX stub
+
+StatusOr<ChildProcess> ChildProcess::spawn(const std::vector<std::string>&,
+                                           const std::string&) {
+  return Status::Io("subprocess spawning is POSIX-only");
+}
+std::optional<ExitStatus> ChildProcess::try_wait() { return std::nullopt; }
+ExitStatus ChildProcess::wait() { return status_; }
+void ChildProcess::kill_hard() {}
+
+#endif
+
+StatusOr<ExitStatus> run_with_deadline(const std::vector<std::string>& argv,
+                                       const std::string& stdout_path,
+                                       std::size_t deadline_ms) {
+  StatusOr<ChildProcess> child = ChildProcess::spawn(argv, stdout_path);
+  if (!child.ok()) return child.status();
+
+  const auto start = std::chrono::steady_clock::now();
+  while (true) {
+    if (auto st = child->try_wait()) return *st;
+    if (deadline_ms > 0) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      if (static_cast<std::size_t>(elapsed) >= deadline_ms) {
+        child->kill_hard();
+        ExitStatus st = child->wait();
+        st.deadline_killed = true;
+        return st;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace vmap

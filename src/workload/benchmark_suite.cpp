@@ -382,6 +382,101 @@ std::vector<BenchmarkProfile> parsec_like_suite() {
   return suite;
 }
 
+std::vector<std::string> archetype_names() {
+  return {"parsec_mini", "throttle_cascade", "power_virus",
+          "idle_wake_storm"};
+}
+
+std::vector<BenchmarkProfile> archetype_suite(const std::string& name) {
+  std::vector<BenchmarkProfile> suite;
+  auto add = [&suite](BenchmarkProfile p) { suite.push_back(std::move(p)); };
+
+  if (name == "parsec_mini") {
+    // Representative corners of the full suite, lifted verbatim so the
+    // archetype stresses the same dynamics the paper's evaluation does.
+    const auto full = parsec_like_suite();
+    for (std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{3},
+                          std::size_t{5}})
+      suite.push_back(full[i]);
+    return suite;
+  }
+  if (name == "throttle_cascade") {
+    // A thermal governor ratcheting cores up and down: deep, slow duty
+    // phases shared across the chip, with long gated stretches when a core
+    // is throttled hard. Periods are staggered so cascades overlap.
+    for (int k = 0; k < 3; ++k) {
+      add({.name = "tc0" + std::to_string(k + 1) + ".throttle",
+           .compute_intensity = 1.20 - 0.10 * k,
+           .memory_intensity = 0.90 + 0.10 * k,
+           .duty = 0.60,
+           .phase_period = 600.0 + 400.0 * k,
+           .phase_depth = 0.70,
+           .gating_rate = 0.010,
+           .gating_depth = 0.95,
+           .mean_gated_steps = 150 + 40.0 * k,
+           .burst_rate = 0.004,
+           .burst_gain = 1.8,
+           .mean_burst_steps = 5,
+           .noise_sigma = 0.05,
+           .noise_rho = 0.80,
+           .core_correlation = 0.90,
+           .wake_inrush_gain = 2.2,
+           .wake_inrush_steps = 4});
+    }
+    return suite;
+  }
+  if (name == "power_virus") {
+    // dI/dt attack patterns: saturated duty and frequent chip-synchronized
+    // bursts — the worst-case alignment the Vmin literature worries about.
+    for (int k = 0; k < 3; ++k) {
+      add({.name = "pv0" + std::to_string(k + 1) + ".virus",
+           .compute_intensity = 1.40,
+           .memory_intensity = 1.20,
+           .duty = 0.78 - 0.04 * k,
+           .phase_period = 200.0 + 100.0 * k,
+           .phase_depth = 0.15,
+           .gating_rate = 0.002,
+           .gating_depth = 0.80,
+           .mean_gated_steps = 25,
+           .burst_rate = 0.040 + 0.010 * k,
+           .burst_gain = 2.8,
+           .mean_burst_steps = 8,
+           .noise_sigma = 0.05,
+           .noise_rho = 0.60,
+           .core_correlation = 0.95,
+           .wake_inrush_gain = 2.4,
+           .wake_inrush_steps = 3});
+    }
+    return suite;
+  }
+  if (name == "idle_wake_storm") {
+    // Mostly-idle chip woken in storms: units gate constantly and wake
+    // with a large inrush, so droop comes from wake edges, not duty.
+    for (int k = 0; k < 3; ++k) {
+      add({.name = "iw0" + std::to_string(k + 1) + ".wakestorm",
+           .compute_intensity = 1.00,
+           .memory_intensity = 0.90,
+           .duty = 0.40 + 0.05 * k,
+           .phase_period = 250.0 + 150.0 * k,
+           .phase_depth = 0.30,
+           .gating_rate = 0.050,
+           .gating_depth = 0.97,
+           .mean_gated_steps = 12,
+           .burst_rate = 0.008,
+           .burst_gain = 2.0,
+           .mean_burst_steps = 4,
+           .noise_sigma = 0.07,
+           .noise_rho = 0.65,
+           .core_correlation = 0.50,
+           .wake_inrush_gain = 2.8,
+           .wake_inrush_steps = 5});
+    }
+    return suite;
+  }
+  VMAP_REQUIRE(false, "unknown workload archetype: " + name);
+  return suite;
+}
+
 std::size_t benchmark_index(const std::vector<BenchmarkProfile>& suite,
                             const std::string& id) {
   VMAP_REQUIRE(id.size() >= 3 && id.rfind("bm", 0) == 0,

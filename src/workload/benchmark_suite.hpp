@@ -50,4 +50,23 @@ std::vector<BenchmarkProfile> parsec_like_suite();
 std::size_t benchmark_index(const std::vector<BenchmarkProfile>& suite,
                             const std::string& id);
 
+/// Compact workload archetypes for the scenario sweep engine. Each is a
+/// small deterministic suite built from the same behavioural knobs:
+///   * "parsec_mini"     — four representative profiles lifted verbatim
+///                         from parsec_like_suite() (compute-bound,
+///                         memory-bound, phase-heavy, irregular);
+///   * "throttle_cascade"— thermal-throttling cascades: deep, slow,
+///                         strongly core-correlated duty phases with long
+///                         power-gated stretches;
+///   * "power_virus"     — power-attack pattern: near-saturated duty with
+///                         frequent chip-synchronized di/dt bursts;
+///   * "idle_wake_storm" — mostly-idle units woken in storms: very high
+///                         gating rate, short gated stretches, large wake
+///                         inrush.
+/// Throws for an unknown name.
+std::vector<BenchmarkProfile> archetype_suite(const std::string& name);
+
+/// The archetype names accepted by archetype_suite(), in canonical order.
+std::vector<std::string> archetype_names();
+
 }  // namespace vmap::workload

@@ -51,6 +51,40 @@ TEST(PowerGrid, HasPadsAndTheyAreMarked) {
   for (std::size_t pad : grid.pad_nodes()) EXPECT_TRUE(grid.is_pad(pad));
 }
 
+TEST(PowerGrid, PadArrangementsProduceValidDistinctLattices) {
+  GridConfig config = small_config();
+  config.ny = 10;  // tall enough for several pad rows — stagger needs >= 2
+  const PowerGrid square(config);
+
+  // kSquare is the default: same pads as a config that never mentions it.
+  config.pad_arrangement = PadArrangement::kSquare;
+  EXPECT_EQ(PowerGrid(config).pad_nodes(), square.pad_nodes());
+
+  config.pad_arrangement = PadArrangement::kTriangular;
+  const PowerGrid triangular(config);
+  config.pad_arrangement = PadArrangement::kHexagonal;
+  const PowerGrid hexagonal(config);
+
+  // Staggered lattices shift odd pad rows, so the pad sets must differ
+  // from the square lattice; hexagonal tightens the row pitch, so it
+  // cannot have fewer pads than triangular.
+  EXPECT_NE(triangular.pad_nodes(), square.pad_nodes());
+  EXPECT_GE(hexagonal.pad_nodes().size(), triangular.pad_nodes().size());
+
+  for (const PowerGrid* grid : {&triangular, &hexagonal}) {
+    EXPECT_FALSE(grid->pad_nodes().empty());
+    for (std::size_t pad : grid->pad_nodes()) EXPECT_TRUE(grid->is_pad(pad));
+    EXPECT_TRUE(grid->conductance().is_symmetric());
+    EXPECT_NO_THROW(linalg::Cholesky(grid->conductance().to_dense()));
+  }
+
+  EXPECT_STREQ(pad_arrangement_name(PadArrangement::kSquare), "square");
+  EXPECT_STREQ(pad_arrangement_name(PadArrangement::kTriangular),
+               "triangular");
+  EXPECT_STREQ(pad_arrangement_name(PadArrangement::kHexagonal),
+               "hexagonal");
+}
+
 TEST(PowerGrid, ConductanceIsSymmetricSpd) {
   const PowerGrid grid(small_config());
   EXPECT_TRUE(grid.conductance().is_symmetric());

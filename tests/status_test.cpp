@@ -132,6 +132,36 @@ TEST(Retry, StopsOnFirstSuccess) {
   EXPECT_EQ(backoffs[1], (std::pair<std::size_t, std::size_t>{2, 14}));
 }
 
+TEST(Retry, BackoffSequenceReproducesAcrossRuns) {
+  // The sweep supervisor leans on this: two sweeps with the same retry
+  // configuration must observe the exact same (attempt, delay) schedule,
+  // or "byte-identical after chaos" could not hold.
+  RetryOptions options;
+  options.max_attempts = 6;
+  options.base_backoff_ms = 3;
+  options.backoff_multiplier = 2.0;
+
+  const auto record_run = [&options]() {
+    std::vector<std::pair<std::size_t, std::size_t>> observed;
+    RetryOptions run = options;
+    run.on_backoff = [&](std::size_t attempt, std::size_t delay) {
+      observed.emplace_back(attempt, delay);
+    };
+    const Status result = retry_with_backoff(
+        run, []() -> Status { return Status::Io("always fails"); });
+    EXPECT_FALSE(result.ok());
+    return observed;
+  };
+
+  const auto first = record_run();
+  const auto second = record_run();
+  ASSERT_EQ(first.size(), 5u);  // max_attempts - 1 backoffs
+  EXPECT_EQ(first, second);
+  const std::vector<std::pair<std::size_t, std::size_t>> expected = {
+      {1, 3}, {2, 6}, {3, 12}, {4, 24}, {5, 48}};
+  EXPECT_EQ(first, expected);
+}
+
 TEST(Retry, ReturnsLastFailureWhenExhausted) {
   RetryOptions options;
   options.max_attempts = 3;

@@ -1,0 +1,187 @@
+// Durability contract of the sweep journal: what survives a crash, what is
+// rejected as corruption, and what gets deduplicated on replay.
+
+#include "sweep/journal.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/status.hpp"
+
+namespace vmap::sweep {
+namespace {
+
+constexpr std::uint64_t kMatrix = 0x1234abcd5678ef00ULL;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+JournalRecord record(JobEvent event, std::uint64_t job,
+                     const std::string& detail) {
+  JournalRecord r;
+  r.event = event;
+  r.job_index = job;
+  r.scenario_hash = 0xfeed0000 + job;
+  r.attempt = 0;
+  r.detail = detail;
+  return r;
+}
+
+/// A journal with three jobs: 0 completed, 1 quarantined, 2 in flight.
+std::string write_sample(const std::string& name) {
+  const std::string path = temp_path(name);
+  auto journal = SweepJournal::create(path, kMatrix);
+  EXPECT_TRUE(journal.ok()) << journal.status().to_string();
+  EXPECT_TRUE(journal->append(record(JobEvent::kDispatched, 0, "")).ok());
+  EXPECT_TRUE(
+      journal->append(record(JobEvent::kCompleted, 0, "sensors=4")).ok());
+  EXPECT_TRUE(journal->append(record(JobEvent::kDispatched, 1, "")).ok());
+  EXPECT_TRUE(
+      journal->append(record(JobEvent::kFailed, 1, "crash_signal_6")).ok());
+  EXPECT_TRUE(
+      journal->append(record(JobEvent::kQuarantined, 1, "crash_signal_6"))
+          .ok());
+  EXPECT_TRUE(journal->append(record(JobEvent::kDispatched, 2, "")).ok());
+  return path;
+}
+
+TEST(SweepJournal, RoundTripsRecordsAndDerivesStates) {
+  const std::string path = write_sample("journal_roundtrip.bin");
+  const auto replay = replay_journal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().to_string();
+  EXPECT_EQ(replay->matrix_hash, kMatrix);
+  ASSERT_EQ(replay->records.size(), 6u);
+  EXPECT_EQ(replay->records[1].event, JobEvent::kCompleted);
+  EXPECT_EQ(replay->records[1].detail, "sensors=4");
+  EXPECT_EQ(replay->dropped_tail_bytes, 0u);
+  EXPECT_EQ(replay->duplicate_terminals, 0u);
+  ASSERT_EQ(replay->completed.size(), 1u);
+  EXPECT_EQ(replay->completed.count(0), 1u);
+  ASSERT_EQ(replay->quarantined.size(), 1u);
+  EXPECT_EQ(replay->quarantined.at(1).detail, "crash_signal_6");
+  // Job 2 was dispatched with no terminal record: must be re-run.
+  EXPECT_EQ(replay->in_flight.size(), 1u);
+  EXPECT_EQ(replay->in_flight.count(2), 1u);
+}
+
+TEST(SweepJournal, ToleratesTruncatedTail) {
+  const std::string path = write_sample("journal_truncated.bin");
+  const std::string bytes = slurp(path);
+  // Cut into the last record's payload — the footprint of a SIGKILL that
+  // landed mid-append.
+  spit(path, bytes.substr(0, bytes.size() - 5));
+
+  const auto replay = replay_journal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().to_string();
+  EXPECT_EQ(replay->records.size(), 5u);
+  EXPECT_GT(replay->dropped_tail_bytes, 0u);
+  // The partial dispatch of job 2 is gone entirely: not in flight.
+  EXPECT_EQ(replay->in_flight.size(), 0u);
+}
+
+TEST(SweepJournal, OpenAppendTrimsTailThenAppendsCleanly) {
+  const std::string path = write_sample("journal_trim_append.bin");
+  const std::string bytes = slurp(path);
+  spit(path, bytes.substr(0, bytes.size() - 5));
+
+  auto journal = SweepJournal::open_append(path, kMatrix);
+  ASSERT_TRUE(journal.ok()) << journal.status().to_string();
+  ASSERT_TRUE(
+      journal->append(record(JobEvent::kCompleted, 2, "sensors=2")).ok());
+
+  const auto replay = replay_journal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().to_string();
+  EXPECT_EQ(replay->dropped_tail_bytes, 0u);  // tail was truncated away
+  ASSERT_EQ(replay->records.size(), 6u);
+  EXPECT_EQ(replay->completed.count(2), 1u);
+}
+
+TEST(SweepJournal, RejectsBitFlippedRecord) {
+  const std::string path = write_sample("journal_bitflip.bin");
+  std::string bytes = slurp(path);
+  // Flip one bit inside the *first record's payload* (just past the 32-byte
+  // header and the 16-byte frame): checksum must catch it.
+  bytes[32 + 16 + 2] ^= 0x04;
+  spit(path, bytes);
+
+  const auto replay = replay_journal(path);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), ErrorCode::kCorruption);
+}
+
+TEST(SweepJournal, RejectsBitFlippedHeader) {
+  const std::string path = write_sample("journal_header_flip.bin");
+  std::string bytes = slurp(path);
+  bytes[17] ^= 0x01;  // inside the matrix-hash field
+  spit(path, bytes);
+
+  const auto replay = replay_journal(path);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), ErrorCode::kCorruption);
+}
+
+TEST(SweepJournal, RejectsImplausibleLengthField) {
+  const std::string path = write_sample("journal_badlen.bin");
+  std::string bytes = slurp(path);
+  // Overwrite the first record's length with garbage that still leaves
+  // more bytes in the file than a truncated tail would.
+  const std::uint64_t huge = 0x4141414141414141ULL;
+  bytes.replace(32, 8, reinterpret_cast<const char*>(&huge), 8);
+  spit(path, bytes);
+
+  const auto replay = replay_journal(path);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), ErrorCode::kCorruption);
+}
+
+TEST(SweepJournal, DeduplicatesDuplicateTerminalRecordsFirstWins) {
+  const std::string path = temp_path("journal_dup.bin");
+  auto journal = SweepJournal::create(path, kMatrix);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(
+      journal->append(record(JobEvent::kCompleted, 7, "sensors=1")).ok());
+  ASSERT_TRUE(
+      journal->append(record(JobEvent::kCompleted, 7, "sensors=9")).ok());
+  ASSERT_TRUE(
+      journal->append(record(JobEvent::kQuarantined, 7, "hang_timeout"))
+          .ok());
+
+  const auto replay = replay_journal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().to_string();
+  EXPECT_EQ(replay->duplicate_terminals, 2u);
+  ASSERT_EQ(replay->completed.count(7), 1u);
+  EXPECT_EQ(replay->completed.at(7).detail, "sensors=1");  // first wins
+  EXPECT_EQ(replay->quarantined.size(), 0u);
+}
+
+TEST(SweepJournal, RefusesResumeAgainstDifferentMatrix) {
+  const std::string path = write_sample("journal_matrix.bin");
+  auto journal = SweepJournal::open_append(path, kMatrix + 1);
+  ASSERT_FALSE(journal.ok());
+  EXPECT_EQ(journal.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SweepJournal, MissingFileIsIoNotCorruption) {
+  const auto replay = replay_journal(temp_path("journal_missing.bin"));
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), ErrorCode::kIo);
+}
+
+}  // namespace
+}  // namespace vmap::sweep

@@ -1,0 +1,342 @@
+// Scenario round-trips plus supervisor end-to-end behavior against stub
+// shell-script "workers" whose misbehavior is scripted per job/attempt:
+// crash containment, deadline kills, garbage-output rejection, retries,
+// quarantine, and exactly-once resume with byte-identical reports.
+
+#include "sweep/supervisor.hpp"
+
+#include <sys/stat.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "sweep/journal.hpp"
+#include "sweep/scenario.hpp"
+#include "util/status.hpp"
+
+namespace vmap::sweep {
+namespace {
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Writes an executable stub worker. The supervisor invokes it as
+///   script --scenario <spec> --job <i> --attempt <k> [--inject <mode>]
+/// so "$4" is the job index and "$6" the attempt index.
+std::string write_stub(const std::string& dir, const std::string& body) {
+  const std::string path = dir + "/stub_worker.sh";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "#!/bin/sh\n" << body;
+  }
+  ::chmod(path.c_str(), 0755);
+  return path;
+}
+
+JobResult result_for_job(std::size_t job) {
+  JobResult r;
+  r.sensors = 4 + job;
+  r.placement = 0xabc0000000000000ULL + job;
+  r.te = 0.01 + 0.001 * static_cast<double>(job);
+  r.rel_err = 0.02;
+  return r;
+}
+
+/// Three-job matrix (vdd corners) for the stub-worker tests.
+ScenarioMatrix three_jobs() {
+  ScenarioMatrix matrix;
+  matrix.vdd_offsets = {0.0, -0.01, 0.01};
+  return matrix;
+}
+
+/// Stub body answering every job with its canned checksummed RESULT line.
+std::string happy_body() {
+  std::ostringstream body;
+  body << "case \"$4\" in\n";
+  for (std::size_t job = 0; job < 3; ++job)
+    body << "  " << job << ") echo '" << encode_result_line(result_for_job(job))
+         << "' ;;\n";
+  body << "  *) exit 3 ;;\nesac\n";
+  return body.str();
+}
+
+SweepOptions stub_options(const std::string& worker, const std::string& dir) {
+  SweepOptions options;
+  options.worker_argv = {worker};
+  options.work_dir = dir;
+  options.deadline_ms = 10000;
+  options.max_attempts = 3;
+  return options;
+}
+
+TEST(Scenario, SpecRoundTripsCanonically) {
+  Scenario sc;
+  sc.pads = grid::PadArrangement::kHexagonal;
+  sc.density = 1.25;
+  sc.two_layer = true;
+  sc.cores_x = 4;
+  sc.cores_y = 2;
+  sc.vdd_offset = -0.03;
+  sc.workload = "power_virus";
+  const auto parsed = Scenario::parse(sc.spec());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->spec(), sc.spec());
+  EXPECT_EQ(parsed->hash(), sc.hash());
+  EXPECT_EQ(parsed->cores_x, 4u);
+  EXPECT_EQ(parsed->pads, grid::PadArrangement::kHexagonal);
+}
+
+TEST(Scenario, ParseRejectsMalformedSpecs) {
+  const std::string good = Scenario().spec();
+  EXPECT_EQ(Scenario::parse("pads=square").status().code(),
+            ErrorCode::kInvalidArgument);  // missing fields
+  EXPECT_EQ(Scenario::parse(good + ";bogus=1").status().code(),
+            ErrorCode::kInvalidArgument);  // unknown key
+  EXPECT_EQ(Scenario::parse("not a spec").status().code(),
+            ErrorCode::kInvalidArgument);
+  std::string bad = good;
+  bad.replace(bad.find("pads=square"), 11, "pads=circle");
+  EXPECT_EQ(Scenario::parse(bad).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(Scenario, MatrixExpandsInFixedNestingOrder) {
+  ScenarioMatrix matrix;
+  matrix.pad_arrangements = {grid::PadArrangement::kSquare,
+                             grid::PadArrangement::kTriangular};
+  matrix.workloads = {"parsec_mini", "power_virus"};
+  const auto jobs = matrix.expand();
+  ASSERT_EQ(jobs.size(), 4u);
+  // pads outermost, workloads innermost.
+  EXPECT_EQ(jobs[0].pads, grid::PadArrangement::kSquare);
+  EXPECT_EQ(jobs[0].workload, "parsec_mini");
+  EXPECT_EQ(jobs[1].pads, grid::PadArrangement::kSquare);
+  EXPECT_EQ(jobs[1].workload, "power_virus");
+  EXPECT_EQ(jobs[2].pads, grid::PadArrangement::kTriangular);
+  EXPECT_EQ(jobs[2].workload, "parsec_mini");
+  EXPECT_EQ(matrix.hash(), matrix.hash());  // pure function of the axes
+}
+
+TEST(Scenario, ResultLineRoundTripsAndRejectsTampering) {
+  const JobResult r = result_for_job(1);
+  const std::string line = encode_result_line(r);
+  const auto parsed = parse_result_output("noise\n" + line + "\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->sensors, r.sensors);
+  EXPECT_EQ(parsed->placement, r.placement);
+  EXPECT_EQ(parsed->te, r.te);
+
+  std::string tampered = line;
+  tampered[10] = tampered[10] == '1' ? '2' : '1';
+  EXPECT_EQ(parse_result_output(tampered).status().code(),
+            ErrorCode::kCorruption);
+  EXPECT_EQ(parse_result_output("no result here\n").status().code(),
+            ErrorCode::kCorruption);
+}
+
+TEST(SweepSupervisor, CompletesAllJobsAndWritesReports) {
+  const std::string dir = temp_dir("sweep_happy");
+  const auto matrix = three_jobs();
+  SweepSupervisor supervisor(matrix,
+                             stub_options(write_stub(dir, happy_body()), dir));
+  const auto result = supervisor.run();
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->jobs_total, 3u);
+  EXPECT_EQ(result->jobs_completed, 3u);
+  EXPECT_EQ(result->jobs_quarantined, 0u);
+  EXPECT_EQ(result->retries_total, 0u);
+  for (std::size_t job = 0; job < 3; ++job) {
+    EXPECT_TRUE(result->rows[job].completed);
+    EXPECT_EQ(result->rows[job].result.placement,
+              result_for_job(job).placement);
+  }
+  const std::string csv = slurp(dir + "/sweep_report.csv");
+  EXPECT_EQ(csv, result->csv());
+  EXPECT_NE(csv.find("completed"), std::string::npos);
+  EXPECT_EQ(slurp(dir + "/sweep_report.json"),
+            result->json(matrix.hash()));
+}
+
+TEST(SweepSupervisor, RetriesCrashThenSucceeds) {
+  const std::string dir = temp_dir("sweep_retry");
+  // Job 1 SIGABRTs on its first attempt only.
+  std::ostringstream body;
+  body << "if [ \"$4\" = 1 ] && [ \"$6\" = 0 ]; then kill -ABRT $$; fi\n"
+       << happy_body();
+  SweepSupervisor supervisor(three_jobs(),
+                             stub_options(write_stub(dir, body.str()), dir));
+  const auto result = supervisor.run();
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->jobs_completed, 3u);
+  EXPECT_EQ(result->rows[1].attempts, 2u);
+  EXPECT_EQ(result->retries_total, 1u);
+
+  // The journal kept the failed attempt's classification.
+  const auto replay = replay_journal(dir + "/sweep.journal");
+  ASSERT_TRUE(replay.ok());
+  bool saw_failure = false;
+  for (const auto& rec : replay->records)
+    if (rec.event == JobEvent::kFailed && rec.job_index == 1) {
+      saw_failure = true;
+      EXPECT_EQ(rec.detail.rfind("crash_signal_", 0), 0u);
+    }
+  EXPECT_TRUE(saw_failure);
+}
+
+TEST(SweepSupervisor, QuarantinesDeterministicCrashAndContinues) {
+  const std::string dir = temp_dir("sweep_quarantine");
+  std::ostringstream body;
+  body << "if [ \"$4\" = 0 ]; then kill -ABRT $$; fi\n" << happy_body();
+  auto options = stub_options(write_stub(dir, body.str()), dir);
+  options.max_attempts = 2;
+  SweepSupervisor supervisor(three_jobs(), options);
+  const auto result = supervisor.run();
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->jobs_completed, 2u);
+  EXPECT_EQ(result->jobs_quarantined, 1u);
+  EXPECT_FALSE(result->rows[0].completed);
+  EXPECT_EQ(result->rows[0].failure_class.rfind("crash_signal_", 0), 0u);
+  EXPECT_EQ(result->rows[0].attempts, 2u);
+  EXPECT_TRUE(result->rows[1].completed);
+  EXPECT_NE(slurp(dir + "/sweep_report.csv").find("quarantined:crash_signal_"),
+            std::string::npos);
+}
+
+TEST(SweepSupervisor, KillsHangingWorkerAtDeadline) {
+  const std::string dir = temp_dir("sweep_hang");
+  std::ostringstream body;
+  body << "if [ \"$4\" = 2 ]; then sleep 30; fi\n" << happy_body();
+  auto options = stub_options(write_stub(dir, body.str()), dir);
+  options.deadline_ms = 300;
+  options.max_attempts = 1;
+  SweepSupervisor supervisor(three_jobs(), options);
+  const auto result = supervisor.run();
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->jobs_quarantined, 1u);
+  EXPECT_EQ(result->rows[2].failure_class, "hang_timeout");
+}
+
+TEST(SweepSupervisor, RejectsGarbageOutputDespiteExitZero) {
+  const std::string dir = temp_dir("sweep_garbage");
+  std::ostringstream body;
+  body << "if [ \"$4\" = 1 ]; then\n"
+       << "  echo 'RESULT sensors=1 placement=0000000000000000 te=0 "
+          "rel_err=0 ffffffffffffffff'\n"
+       << "  exit 0\nfi\n"
+       << happy_body();
+  auto options = stub_options(write_stub(dir, body.str()), dir);
+  options.max_attempts = 1;
+  SweepSupervisor supervisor(three_jobs(), options);
+  const auto result = supervisor.run();
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_FALSE(result->rows[1].completed);
+  EXPECT_EQ(result->rows[1].failure_class, "garbage_output");
+}
+
+TEST(SweepSupervisor, ResumeSkipsCompletedExactlyOnceByteIdentically) {
+  const auto matrix = three_jobs();
+
+  // Reference: uninterrupted sweep.
+  const std::string ref_dir = temp_dir("sweep_resume_ref");
+  SweepSupervisor ref(
+      matrix, stub_options(write_stub(ref_dir, happy_body()), ref_dir));
+  const auto ref_result = ref.run();
+  ASSERT_TRUE(ref_result.ok()) << ref_result.status().to_string();
+  const std::string ref_csv = slurp(ref_dir + "/sweep_report.csv");
+  const std::string ref_json = slurp(ref_dir + "/sweep_report.json");
+
+  // Interrupted sweep, reconstructed: job 0 completed, job 1 was mid-flight
+  // when the "kill" landed, job 2 never started.
+  const std::string dir = temp_dir("sweep_resume");
+  const auto jobs = matrix.expand();
+  {
+    auto journal = SweepJournal::create(dir + "/sweep.journal", matrix.hash());
+    ASSERT_TRUE(journal.ok()) << journal.status().to_string();
+    JournalRecord done;
+    done.event = JobEvent::kCompleted;
+    done.job_index = 0;
+    done.scenario_hash = jobs[0].hash();
+    done.detail = encode_result_payload(result_for_job(0));
+    ASSERT_TRUE(journal->append(done).ok());
+    JournalRecord inflight;
+    inflight.event = JobEvent::kDispatched;
+    inflight.job_index = 1;
+    inflight.scenario_hash = jobs[1].hash();
+    ASSERT_TRUE(journal->append(inflight).ok());
+  }
+
+  auto options = stub_options(write_stub(dir, happy_body()), dir);
+  options.resume = true;
+  SweepSupervisor resumed(matrix, options);
+  const auto result = resumed.run();
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->jobs_completed, 3u);
+  EXPECT_EQ(result->jobs_skipped_resume, 1u);  // job 0: exactly-once
+  EXPECT_TRUE(result->rows[0].from_journal);
+  EXPECT_EQ(result->rows[0].attempts, 0u);  // never re-run
+  EXPECT_FALSE(result->rows[1].from_journal);  // in-flight: re-ran
+
+  EXPECT_EQ(slurp(dir + "/sweep_report.csv"), ref_csv);
+  EXPECT_EQ(slurp(dir + "/sweep_report.json"), ref_json);
+}
+
+TEST(SweepSupervisor, ResumeRefusesDifferentMatrix) {
+  const std::string dir = temp_dir("sweep_resume_mismatch");
+  const auto matrix = three_jobs();
+  {
+    auto journal =
+        SweepJournal::create(dir + "/sweep.journal", matrix.hash() + 1);
+    ASSERT_TRUE(journal.ok());
+  }
+  auto options = stub_options(write_stub(dir, happy_body()), dir);
+  options.resume = true;
+  SweepSupervisor supervisor(matrix, options);
+  const auto result = supervisor.run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SweepSupervisor, ChaosInjectionStillCompletesEveryJob) {
+  // worker_crash chaos: the stub honors --inject ("$7"/"$8") by aborting.
+  const std::string dir = temp_dir("sweep_chaos");
+  std::ostringstream body;
+  body << "if [ \"$8\" = worker_crash ]; then kill -ABRT $$; fi\n"
+       << happy_body();
+  auto options = stub_options(write_stub(dir, body.str()), dir);
+  options.chaos.mode = "worker_crash";
+  options.chaos.every_nth = 2;  // jobs 0 and 2 get a first-attempt crash
+  SweepSupervisor supervisor(three_jobs(), options);
+  const auto result = supervisor.run();
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->jobs_completed, 3u);
+  EXPECT_EQ(result->jobs_quarantined, 0u);
+  EXPECT_EQ(result->retries_total, 2u);
+  EXPECT_EQ(result->rows[0].attempts, 2u);
+  EXPECT_EQ(result->rows[1].attempts, 1u);
+  EXPECT_EQ(result->rows[2].attempts, 2u);
+
+  // Byte-identical to a clean sweep of the same matrix.
+  const std::string clean_dir = temp_dir("sweep_chaos_clean");
+  SweepSupervisor clean(three_jobs(), stub_options(
+      write_stub(clean_dir, happy_body()), clean_dir));
+  const auto clean_result = clean.run();
+  ASSERT_TRUE(clean_result.ok());
+  EXPECT_EQ(slurp(dir + "/sweep_report.csv"),
+            slurp(clean_dir + "/sweep_report.csv"));
+}
+
+}  // namespace
+}  // namespace vmap::sweep

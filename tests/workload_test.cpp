@@ -63,6 +63,38 @@ TEST(BenchmarkSuite, IndexLookup) {
   EXPECT_THROW(benchmark_index(suite, "xyz"), vmap::ContractError);
 }
 
+TEST(BenchmarkSuite, ArchetypeSuitesAreSaneAndDistinct) {
+  const auto names = archetype_names();
+  ASSERT_FALSE(names.empty());
+  std::set<std::uint64_t> hashes;
+  for (const auto& name : names) {
+    const auto suite = archetype_suite(name);
+    ASSERT_FALSE(suite.empty()) << name;
+    for (const auto& p : suite) {
+      EXPECT_GT(p.duty, 0.0) << name;
+      EXPECT_LE(p.duty, 1.0) << name;
+      EXPECT_GE(p.core_correlation, 0.0) << name;
+      EXPECT_LE(p.core_correlation, 1.0) << name;
+      EXPECT_GT(p.burst_gain, 1.0) << name;
+    }
+    // Same name twice → identical suite; each archetype keys a distinct
+    // dataset, so the hashes must all differ.
+    EXPECT_EQ(suite_hash(suite), suite_hash(archetype_suite(name))) << name;
+    hashes.insert(suite_hash(suite));
+  }
+  EXPECT_EQ(hashes.size(), names.size());
+  EXPECT_THROW(archetype_suite("no_such_archetype"), vmap::ContractError);
+}
+
+TEST(BenchmarkSuite, ParsecMiniIsASubsetOfTheFullSuite) {
+  const auto mini = archetype_suite("parsec_mini");
+  const auto full = parsec_like_suite();
+  for (const auto& p : mini) {
+    const std::size_t i = benchmark_index(full, p.name);
+    EXPECT_EQ(suite_hash({full[i]}), suite_hash({p})) << p.name;
+  }
+}
+
 TEST(BenchmarkSuite, SuiteHashIsStableAndSensitive) {
   const auto a = parsec_like_suite();
   const auto b = parsec_like_suite();

@@ -17,6 +17,12 @@
 #       tests plus the serving_suite chaos harness with every --inject
 #       scenario. Gates zero alarm loss AND zero data races across the
 #       watchdog failover, overload shed, and checkpoint kill paths.
+#   tools/check_sanitize.sh sweep [build-dir]     (default dir
+#       build-sanitize): ASan+UBSan over the scenario sweep engine: the
+#       journal/supervisor unit tests, then the sweep_suite chaos harness's
+#       supervisor_kill mode (SIGKILL the supervisor mid-sweep, --resume
+#       from the journal, assert the final CSV/JSON byte-identical to an
+#       uninterrupted reference run).
 #
 # Any sanitizer report fails the run (halt_on_error / abort flags).
 set -euo pipefail
@@ -24,7 +30,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="asan"
-if [[ $# -ge 1 && ( "$1" == "asan" || "$1" == "tsan" || "$1" == "resilience" || "$1" == "chaos" ) ]]; then
+if [[ $# -ge 1 && ( "$1" == "asan" || "$1" == "tsan" || "$1" == "resilience" || "$1" == "chaos" || "$1" == "sweep" ) ]]; then
   MODE="$1"
   shift
 fi
@@ -56,6 +62,25 @@ elif [[ "$MODE" == "chaos" ]]; then
   "$BUILD_DIR"/bench/serving_suite --threads-list 2,4 --chips 8 \
     --samples 400 --inject all
   echo "chaos sanitize check passed (${BUILD_DIR})"
+elif [[ "$MODE" == "sweep" ]]; then
+  BUILD_DIR="${1:-build-sanitize}"
+  cmake -B "$BUILD_DIR" -S . -DVMAP_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_DIR" -j"$(nproc)" \
+    --target sweep_journal_test sweep_test sweep_worker sweep_suite
+  export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'sweep_journal_test|sweep_test'
+  # The kill/resume identity gate: a reference sweep of the tiny 3x2
+  # matrix, then a supervisor SIGKILLed mid-sweep and resumed from its
+  # journal; exit 1 if the final CSV/JSON differ by one byte or any job
+  # was lost. Real sweep_worker subprocesses run under ASan too.
+  rm -rf "$BUILD_DIR"/sweep_smoke
+  "$BUILD_DIR"/bench/sweep_suite --inject supervisor_kill \
+    --worker "$BUILD_DIR"/tools/sweep_worker \
+    --work-dir "$BUILD_DIR"/sweep_smoke --parallel 2
+  echo "sweep sanitize check passed (${BUILD_DIR})"
 elif [[ "$MODE" == "resilience" ]]; then
   BUILD_DIR="${1:-build-sanitize}"
   cmake -B "$BUILD_DIR" -S . -DVMAP_SANITIZE=address,undefined \

@@ -29,22 +29,58 @@ Exit status: 0 = within bounds, 1 = regression, 2 = usage/IO error.
 
 import argparse
 import json
+import os
 import sys
 
 
-def load(path):
+def regen_hint(baseline_path):
+    """How to (re)create a baseline file, derived from its own name."""
+    bench = os.path.splitext(os.path.basename(baseline_path))[0]
+    return (f"  to regenerate it, run the bench with --report and commit "
+            f"the result:\n"
+            f"    build/bench/{bench} --quick --report {baseline_path}\n"
+            f"  (see bench/baselines/README.md; the gate compares the "
+            f"committed\n   baseline against each CI run's fresh report)")
+
+
+def load(path, role, baseline_path):
     try:
         with open(path) as f:
             return json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"perf_gate: cannot read {path}: {e}", file=sys.stderr)
+    except FileNotFoundError:
+        if role == "baseline":
+            print(f"perf_gate: baseline file does not exist: {path}\n"
+                  f"{regen_hint(baseline_path)}", file=sys.stderr)
+        else:
+            print(f"perf_gate: current-run report does not exist: {path}\n"
+                  f"  the bench probably failed before writing --report; "
+                  f"re-run it with\n"
+                  f"    --report {path}\n"
+                  f"  and check its own output for the failure.",
+                  file=sys.stderr)
+        sys.exit(2)
+    except OSError as e:
+        print(f"perf_gate: cannot read {role} file {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print(f"perf_gate: {role} file {path} is not valid JSON "
+              f"(truncated or hand-edited?): {e}\n{regen_hint(baseline_path)}",
+              file=sys.stderr)
         sys.exit(2)
 
 
-def as_pairs(obj, section):
-    pairs = obj.get(section, {})
+def as_pairs(obj, section, role, path, baseline_path):
+    if section not in obj:
+        print(f"perf_gate: {role} file {path} has no \"{section}\" key — "
+              f"it does not look like a write_report() artifact "
+              f"(schema {obj.get('schema', 'absent')}).\n"
+              f"{regen_hint(baseline_path)}", file=sys.stderr)
+        sys.exit(2)
+    pairs = obj[section]
     if not isinstance(pairs, dict):
-        print(f"perf_gate: {section} is not an object", file=sys.stderr)
+        print(f"perf_gate: \"{section}\" in {path} is not an object\n"
+              f"{regen_hint(baseline_path)}", file=sys.stderr)
         sys.exit(2)
     return pairs
 
@@ -61,8 +97,8 @@ def main():
                         help="baseline timings below this are not gated")
     args = parser.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    base = load(args.baseline, "baseline", args.baseline)
+    cur = load(args.current, "current-run", args.baseline)
     failures = []
 
     bench = cur.get("bench", "?")
@@ -72,8 +108,10 @@ def main():
             f"current={cur.get('bench')}")
 
     # --- correctness scalars: exact equality --------------------------
-    base_scalars = as_pairs(base, "scalars")
-    cur_scalars = as_pairs(cur, "scalars")
+    base_scalars = as_pairs(base, "scalars", "baseline", args.baseline,
+                            args.baseline)
+    cur_scalars = as_pairs(cur, "scalars", "current-run", args.current,
+                           args.baseline)
     for name, expected in sorted(base_scalars.items()):
         if name not in cur_scalars:
             failures.append(f"scalar missing from current run: {name}")
@@ -88,24 +126,37 @@ def main():
         print(f"note: scalar not in baseline (ignored): {name}")
 
     # --- timings: calibration-normalized tolerance --------------------
-    base_cal = float(base.get("calibration_ms", 0.0))
-    cur_cal = float(cur.get("calibration_ms", 0.0))
+    try:
+        base_cal = float(base.get("calibration_ms", 0.0))
+        cur_cal = float(cur.get("calibration_ms", 0.0))
+    except (TypeError, ValueError):
+        base_cal = cur_cal = 0.0
     if base_cal <= 0.0 or cur_cal <= 0.0:
         failures.append(
-            f"missing/invalid calibration_ms (baseline={base_cal}, "
-            f"current={cur_cal}); cannot normalize timings")
+            f"missing/invalid calibration_ms in "
+            f"{args.baseline if base_cal <= 0.0 else args.current} — "
+            f"cannot normalize timings; regenerate the report "
+            f"(write_report() always emits it)")
     else:
         speed = cur_cal / base_cal  # >1 = this machine is slower
         print(f"[{bench}] calibration: baseline {base_cal:.1f} ms, "
               f"current {cur_cal:.1f} ms (machine speed ratio {speed:.2f}x)")
-        base_timings = as_pairs(base, "timings_ms")
-        cur_timings = as_pairs(cur, "timings_ms")
+        base_timings = as_pairs(base, "timings_ms", "baseline",
+                                args.baseline, args.baseline)
+        cur_timings = as_pairs(cur, "timings_ms", "current-run",
+                               args.current, args.baseline)
         for name, base_ms in sorted(base_timings.items()):
             if name not in cur_timings:
                 failures.append(f"timing missing from current run: {name}")
                 continue
-            cur_ms = float(cur_timings[name])
-            base_ms = float(base_ms)
+            try:
+                cur_ms = float(cur_timings[name])
+                base_ms = float(base_ms)
+            except (TypeError, ValueError):
+                failures.append(
+                    f"timing {name} is not numeric (baseline "
+                    f"{base_ms!r}, current {cur_timings[name]!r})")
+                continue
             if base_ms < args.min_wall_ms:
                 print(f"  {name}: {cur_ms:.1f} ms (baseline {base_ms:.1f} ms"
                       " — below gating floor, not checked)")

@@ -1,0 +1,116 @@
+// Sweep worker subprocess: runs exactly one scenario end-to-end.
+//
+// The supervisor fork/execs one of these per job attempt, so anything that
+// goes wrong inside — a solver segfault, an OOM kill, a runaway solve — is
+// contained in this process. The contract with the supervisor is narrow:
+//   * the scenario arrives as a canonical spec string (--scenario), and
+//     every input is derived from it — the worker shares no state with the
+//     supervisor beyond that string;
+//   * on success the worker prints one self-checksummed line,
+//     "RESULT <payload> <fnv1a64-hex>", and exits 0; everything else on
+//     stdout/stderr is diagnostics the supervisor ignores;
+//   * any other exit (signal, nonzero code, missing/garbled RESULT line)
+//     is classified and retried by the supervisor.
+//
+// --inject deliberately misbehaves (crash / hang / garbage output) so the
+// chaos harness can prove those failures stay contained.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "core/emergency.hpp"
+#include "core/ols_model.hpp"
+#include "core/pipeline.hpp"
+#include "sweep/scenario.hpp"
+#include "util/cli.hpp"
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
+#include "workload/benchmark_suite.hpp"
+
+using namespace vmap;
+
+namespace {
+
+int run_injection(const std::string& mode) {
+  if (mode == "worker_crash") {
+    std::fprintf(stderr, "chaos: aborting on request\n");
+    std::abort();
+  }
+  if (mode == "worker_hang") {
+    std::fprintf(stderr, "chaos: hanging on request\n");
+    while (true) std::this_thread::sleep_for(std::chrono::seconds(60));
+  }
+  if (mode == "worker_garbage_output") {
+    // Exit 0 with a RESULT line whose checksum cannot match: the
+    // supervisor must classify this as garbage, not trust the exit code.
+    std::printf("RESULT sensors=1 placement=0000000000000000 te=0 "
+                "rel_err=0 ffffffffffffffff\n");
+    return 0;
+  }
+  std::fprintf(stderr, "error: unknown inject mode: %s\n", mode.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args("sweep_worker — one scenario per subprocess");
+  args.add_flag("scenario", "", "canonical scenario spec string");
+  args.add_flag("job", "0", "job index (diagnostics only)");
+  args.add_flag("attempt", "0", "attempt index (diagnostics only)");
+  args.add_flag("inject", "", "chaos mode: worker_crash|worker_hang|"
+                "worker_garbage_output");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    const std::string inject = args.get("inject");
+    if (!inject.empty()) return run_injection(inject);
+
+    // One solver thread: the *supervisor* owns parallelism (one worker
+    // process per slot), and single-threaded solves keep results exactly
+    // reproducible across parallel widths.
+    set_thread_count(1);
+
+    const auto scenario = sweep::Scenario::parse(args.get("scenario"));
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   scenario.status().to_string().c_str());
+      return 2;
+    }
+
+    const core::ExperimentSetup setup = scenario->setup();
+    const grid::PowerGrid grid(setup.grid);
+    const chip::Floorplan floorplan(grid, setup.floorplan);
+    const auto suite = workload::archetype_suite(scenario->workload);
+    const core::DataCollector collector(grid, floorplan, setup.data);
+    const core::Dataset data = collector.collect(suite);
+
+    core::PipelineConfig config;
+    config.lambda = 6.0;
+    config.sensors_per_core = 2;
+    const auto model = core::fit_placement(data, floorplan, config);
+    const auto pred = model.predict(data.x_test);
+    const auto rates = core::evaluate_prediction_detector(
+        data.f_test, pred, data.config.emergency_threshold);
+
+    sweep::JobResult result;
+    result.sensors = model.sensor_rows().size();
+    std::uint64_t placement = kFnv1a64Seed;
+    for (std::size_t node : model.sensor_nodes()) {
+      const std::uint64_t v = node;
+      placement = fnv1a64(&v, sizeof(v), placement);
+    }
+    result.placement = placement;
+    result.te = rates.total_error_rate();
+    result.rel_err = core::relative_error(data.f_test, pred);
+
+    std::printf("%s\n", sweep::encode_result_line(result).c_str());
+    std::fflush(stdout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
