@@ -6,6 +6,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/flight_recorder.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
@@ -30,6 +31,8 @@ extern "C" void interrupt_flush_handler(int sig) {
     }
     std::fprintf(stderr, "[signal] interrupted by signal %d; metrics: %s\n",
                  sig, metrics::snapshot_json().c_str());
+    std::fprintf(stderr, "[signal] flight-recorder tail:\n");
+    flight::dump(2);
   }
   std::signal(sig, SIG_DFL);
   std::raise(sig);
@@ -43,6 +46,9 @@ void install_interrupt_flush() {
   installed = true;
   std::signal(SIGINT, interrupt_flush_handler);
   std::signal(SIGTERM, interrupt_flush_handler);
+  // Fatal-signal dumps (SIGSEGV/SIGABRT) come from the flight recorder:
+  // the ring is async-signal dumpable where the trace buffer is not.
+  flight::install_crash_dump();
 }
 
 void add_common_flags(CliArgs& args) {

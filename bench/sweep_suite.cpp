@@ -21,6 +21,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -31,6 +32,7 @@
 
 #include "common.hpp"
 #include "sweep/supervisor.hpp"
+#include "sweep/telemetry.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -62,13 +64,15 @@ std::string slurp(const std::string& path) {
 
 sweep::SweepOptions base_options(const std::string& worker,
                                  const std::string& work_dir,
-                                 std::size_t parallel) {
+                                 std::size_t parallel,
+                                 sweep::TelemetryMode telemetry) {
   sweep::SweepOptions options;
   options.worker_argv = {worker};
   options.work_dir = work_dir;
   options.parallel = parallel;
   options.deadline_ms = 120000;
   options.max_attempts = 3;
+  options.telemetry = telemetry;
   return options;
 }
 
@@ -132,6 +136,10 @@ int main(int argc, char** argv) {
                 "worker_garbage_output|supervisor_kill|all");
   args.add_flag("work-dir", "sweep_out", "scratch directory for journals");
   args.add_flag("parallel", "2", "concurrent worker subprocesses");
+  args.add_flag("telemetry", "auto",
+                "fleet telemetry: auto (follow VMAP_TRACE), on, off. When "
+                "active the harness also proves shard-merge determinism "
+                "and that quarantined jobs carry flight-recorder tails");
   try {
     if (!args.parse(argc, argv)) return 0;
     const std::string worker = args.get("worker");
@@ -140,6 +148,20 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("parallel"));
     const auto matrix =
         tiny_matrix(static_cast<std::uint64_t>(args.get_int("seed")));
+
+    const std::string telemetry_flag = args.get("telemetry");
+    if (telemetry_flag != "auto" && telemetry_flag != "on" &&
+        telemetry_flag != "off") {
+      std::fprintf(stderr, "error: bad --telemetry value: %s\n",
+                   telemetry_flag.c_str());
+      return 2;
+    }
+    const char* trace_env = std::getenv("VMAP_TRACE");
+    const bool telemetry_on =
+        telemetry_flag == "on" ||
+        (telemetry_flag == "auto" && trace_env && *trace_env);
+    const sweep::TelemetryMode telemetry =
+        telemetry_on ? sweep::TelemetryMode::kOn : sweep::TelemetryMode::kOff;
 
     std::vector<std::string> modes;
     const std::string inject = args.get("inject");
@@ -152,7 +174,7 @@ int main(int argc, char** argv) {
     // Reference sweep: no chaos. Every mode is byte-compared against it.
     std::filesystem::create_directories(root + "/ref");
     sweep::SweepOptions ref_options =
-        base_options(worker, root + "/ref", parallel);
+        base_options(worker, root + "/ref", parallel, telemetry);
     auto ref = sweep::SweepSupervisor(matrix, ref_options).run();
     if (!ref.ok()) {
       std::fprintf(stderr, "error: reference sweep failed: %s\n",
@@ -182,7 +204,8 @@ int main(int argc, char** argv) {
     for (const std::string& mode : modes) {
       const std::string dir = root + "/" + mode;
       std::filesystem::create_directories(dir);
-      sweep::SweepOptions options = base_options(worker, dir, parallel);
+      sweep::SweepOptions options =
+          base_options(worker, dir, parallel, telemetry);
       vmap::StatusOr<sweep::SweepResult> run =
           Status::InvalidArgument("unset");
       if (mode == "supervisor_kill") {
@@ -216,6 +239,63 @@ int main(int argc, char** argv) {
       report.scalar("match." + mode,
                     (out.csv_match && out.json_match) ? 1.0 : 0.0);
       report.scalar("lost." + mode, static_cast<double>(out.lost));
+    }
+
+    // --- telemetry invariants -------------------------------------------
+    if (telemetry_on) {
+      // Merge determinism: resuming over the finished reference journal
+      // re-runs nothing — it re-merges the same shard files — so the
+      // merged trace must come back byte-identical.
+      const std::string ref_trace = slurp(root + "/ref/sweep_trace.json");
+      sweep::SweepOptions remerge = ref_options;
+      remerge.resume = true;
+      auto resumed = sweep::SweepSupervisor(matrix, remerge).run();
+      const bool trace_deterministic =
+          resumed.ok() && !ref_trace.empty() &&
+          slurp(root + "/ref/sweep_trace.json") == ref_trace &&
+          slurp(root + "/ref/sweep_report.json") == ref_json;
+      if (!trace_deterministic) {
+        std::fprintf(stderr,
+                     "error: re-merging the reference shards changed the "
+                     "merged trace or report\n");
+        all_ok = false;
+      }
+      report.scalar("trace.deterministic", trace_deterministic ? 1.0 : 0.0);
+
+      // Quarantine flight tails: crash every job's only attempt and
+      // require the merged trace to carry each job's flight-recorder
+      // events in its quarantine record.
+      const std::string fdir = root + "/flight_check";
+      std::filesystem::create_directories(fdir);
+      sweep::SweepOptions fopts =
+          base_options(worker, fdir, parallel, telemetry);
+      fopts.max_attempts = 1;
+      fopts.chaos.mode = "worker_crash";
+      fopts.chaos.every_nth = 1;
+      auto fatal = sweep::SweepSupervisor(matrix, fopts).run();
+      std::size_t tails = 0;
+      bool flight_ok = false;
+      if (fatal.ok()) {
+        for (std::size_t job = 0; job < fatal->jobs_total; ++job)
+          if (!slurp(sweep::flight_path_for_job(fdir, job)).empty()) ++tails;
+        const std::string fatal_trace = slurp(fdir + "/sweep_trace.json");
+        flight_ok = fatal->jobs_quarantined == fatal->jobs_total &&
+                    tails == fatal->jobs_total &&
+                    fatal_trace.find("flight_recorder") != std::string::npos &&
+                    fatal_trace.find("chaos.inject") != std::string::npos;
+      }
+      if (!flight_ok) {
+        std::fprintf(stderr,
+                     "error: quarantined jobs are missing flight-recorder "
+                     "tails (%zu of %zu)\n",
+                     tails, fatal.ok() ? fatal->jobs_total : 0);
+        all_ok = false;
+      }
+      report.scalar("flight.tails", static_cast<double>(tails));
+      report.scalar("flight.ok", flight_ok ? 1.0 : 0.0);
+      std::printf("telemetry: merge %s, %zu/%zu quarantine flight tails\n",
+                  trace_deterministic ? "deterministic" : "DIVERGED", tails,
+                  fatal.ok() ? fatal->jobs_total : 0);
     }
 
     table.print(std::cout);

@@ -96,6 +96,9 @@ MonitorFleet::MonitorFleet(FleetConfig config) : config_(config) {
     auto shard = std::make_unique<Shard>();
     shard->queue =
         std::make_unique<BoundedQueue<Reading>>(config_.queue_capacity);
+    const std::string prefix = "serve.shard" + std::to_string(i);
+    shard->depth_gauge = &metrics::gauge(prefix + ".queue_depth");
+    shard->inflight_age_gauge = &metrics::gauge(prefix + ".inflight_age_ms");
     shards_.push_back(std::move(shard));
   }
 }
@@ -130,6 +133,7 @@ IngestResult MonitorFleet::ingest(Reading reading) {
   if (shard.queue->closed()) return {false, RejectReason::kStopped};
   if (shard.queue->try_push(std::move(reading))) {
     enqueued_.fetch_add(1, kRelaxed);
+    shard.depth_gauge->set(static_cast<double>(shard.queue->size()));
     return {true, RejectReason::kNone};
   }
   shed_.fetch_add(1, kRelaxed);
@@ -362,6 +366,7 @@ bool MonitorFleet::execute_batch(Shard& shard, std::vector<Reading> batch,
     shard.inflight = std::move(batch);
     shard.inflight_pos = 0;
     shard.inflight_stolen = false;
+    shard.inflight_since_ms.store(now_ms(), kRelaxed);
   }
   run_prediction_plan(plan, precomputed);
   for (;;) {
@@ -398,6 +403,7 @@ bool MonitorFleet::execute_batch(Shard& shard, std::vector<Reading> batch,
   if (!shard.inflight_stolen) {
     shard.inflight.clear();
     shard.inflight_pos = 0;
+    shard.inflight_since_ms.store(0.0, kRelaxed);
   }
   return true;
 }
@@ -415,6 +421,9 @@ void MonitorFleet::decide_one(const Reading& reading,
     event.worst_voltage = outcome.decision.worst_voltage;
     event.worst_row = outcome.decision.worst_row;
     event.latency_ms = now_ms() - reading.ingest_ms;
+    static metrics::Histogram& alarm_latency = metrics::histogram(
+        "serve.alarm_latency_ms", metrics::default_time_buckets_ms());
+    alarm_latency.observe(event.latency_ms);
     {
       std::lock_guard<std::mutex> lock(alarm_mutex_);
       alarms_.push_back(event);
@@ -438,6 +447,9 @@ void MonitorFleet::watchdog_loop() {
       // Ring backlog counts toward the stall signal too: a worker wedged
       // with only ring traffic pending must still fail over.
       for (const auto& ring : shard.rings) backlog += ring->approx_size();
+      shard.depth_gauge->set(static_cast<double>(backlog));
+      const double since = shard.inflight_since_ms.load(kRelaxed);
+      shard.inflight_age_gauge->set(since > 0 ? now - since : 0.0);
       {
         std::lock_guard<std::mutex> lock(shard.inflight_mutex);
         if (!shard.inflight_stolen)
@@ -477,6 +489,7 @@ void MonitorFleet::fail_over(std::size_t shard_index) {
     shard.inflight.clear();
     shard.inflight_pos = 0;
     shard.inflight_stolen = true;
+    shard.inflight_since_ms.store(0.0, kRelaxed);
     // Revoke the old worker's batch ownership: from here on it exits on
     // its first look at the shard instead of racing the replacement.
     new_gen = ++shard.generation;
@@ -519,6 +532,9 @@ void MonitorFleet::fail_over(std::size_t shard_index) {
     worker_loop(shard, queue, new_gen);
   });
   stall_failovers_.fetch_add(1, kRelaxed);
+  static metrics::Counter& failovers =
+      metrics::counter("serve.stall_failovers");
+  failovers.add();
 }
 
 std::vector<AlarmEvent> MonitorFleet::drain_alarms() {

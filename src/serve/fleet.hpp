@@ -51,6 +51,7 @@
 #include "serve/chip_domain.hpp"
 #include "serve/spsc_ring.hpp"
 #include "serve/types.hpp"
+#include "util/metrics.hpp"
 #include "util/status.hpp"
 
 namespace vmap::serve {
@@ -157,6 +158,15 @@ class MonitorFleet {
     // Watchdog bookkeeping (watchdog-thread-owned).
     std::uint64_t last_handled = 0;
     double stalled_since_ms = -1.0;
+    /// Observability: registry gauges cached at construction (registration
+    /// takes a lock; updates are relaxed stores). Depth tracks the shard
+    /// queue; inflight age is how long the current published batch has
+    /// been outstanding — 0 when none is.
+    metrics::Gauge* depth_gauge = nullptr;
+    metrics::Gauge* inflight_age_gauge = nullptr;
+    /// now_ms() when the current inflight batch was published; 0 between
+    /// batches. Written by the owning worker, read by the watchdog.
+    std::atomic<double> inflight_since_ms{0.0};
   };
 
   /// `my_gen` is the shard generation this worker owns; the loop exits as

@@ -69,7 +69,7 @@ Status parse_record_payload(const std::string& payload,
   std::string hash_hex;
   if (!(s >> event >> r.job_index >> hash_hex >> r.attempt))
     return Status::Corruption("sweep journal record malformed: " + path);
-  if (event < 1 || event > 4)
+  if (event < 1 || event > 5)
     return Status::Corruption("sweep journal record has unknown event " +
                               std::to_string(event) + ": " + path);
   r.event = static_cast<JobEvent>(event);
@@ -91,6 +91,7 @@ const char* job_event_name(JobEvent event) {
     case JobEvent::kFailed: return "failed";
     case JobEvent::kCompleted: return "completed";
     case JobEvent::kQuarantined: return "quarantined";
+    case JobEvent::kShardWritten: return "shard_written";
   }
   return "?";
 }
@@ -250,6 +251,9 @@ StatusOr<JournalReplay> replay_journal(const std::string& path) {
           replay.in_flight.insert(r.job_index);
         break;
       case JobEvent::kFailed:
+        break;
+      case JobEvent::kShardWritten:
+        replay.shard_files[r.job_index] = r.detail;
         break;
       case JobEvent::kCompleted:
         if (replay.completed.count(r.job_index) ||

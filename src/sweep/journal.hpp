@@ -37,6 +37,7 @@ enum class JobEvent : std::uint64_t {
   kFailed = 2,      ///< attempt ended in a classified failure
   kCompleted = 3,   ///< terminal: verified result payload in `detail`
   kQuarantined = 4, ///< terminal: failure class in `detail`, sweep went on
+  kShardWritten = 5,  ///< job's telemetry shard landed; path in `detail`
 };
 
 const char* job_event_name(JobEvent event);
@@ -89,6 +90,10 @@ struct JournalReplay {
   std::map<std::uint64_t, JournalRecord> completed;    ///< by job index
   std::map<std::uint64_t, JournalRecord> quarantined;  ///< by job index
   std::set<std::uint64_t> in_flight;  ///< dispatched, no terminal record
+  /// Telemetry shard paths by job index (last record wins: a re-run's
+  /// shard overwrites its predecessor's file too). Informational — job
+  /// state never depends on shard records.
+  std::map<std::uint64_t, std::string> shard_files;
 };
 
 /// Validates and replays a journal. kIo when the file cannot be read,

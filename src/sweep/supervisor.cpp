@@ -2,12 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
+#include "sweep/telemetry.hpp"
 #include "util/atomic_file.hpp"
+#include "util/flight_recorder.hpp"
 #include "util/log.hpp"
 #include "util/subprocess.hpp"
 
@@ -61,7 +64,8 @@ std::string SweepResult::csv() const {
   return out;
 }
 
-std::string SweepResult::json(std::uint64_t matrix_hash) const {
+std::string SweepResult::json(std::uint64_t matrix_hash,
+                              const std::string& telemetry_json) const {
   // Only deterministic fields: no attempt counts, no resume bookkeeping,
   // no timings — the bytes must not depend on how the sweep got here.
   std::string out = "{\n  \"schema\": 1,\n  \"matrix_hash\": \"0x" +
@@ -83,7 +87,10 @@ std::string SweepResult::json(std::uint64_t matrix_hash) const {
     if (i + 1 < rows.size()) out += ",";
     out += "\n";
   }
-  out += "  ]\n}\n";
+  out += "  ]";
+  if (!telemetry_json.empty())
+    out += ",\n  \"telemetry\": " + telemetry_json;
+  out += "\n}\n";
   return out;
 }
 
@@ -133,12 +140,24 @@ StatusOr<JobResult> SweepSupervisor::run_attempt(
       options_.work_dir + "/job_" + std::to_string(job_index) + ".out";
 
   // An attempt that is *known* to hang gets the short chaos deadline; the
-  // enforcement path (SIGKILL on expiry, classify, retry) is identical.
+  // enforcement path (TERM, grace, KILL on expiry, classify, retry) is
+  // identical.
   const std::size_t deadline =
       inject && chaos.mode == "worker_hang" ? chaos.injected_deadline_ms
                                             : options_.deadline_ms;
 
-  StatusOr<ExitStatus> exit = run_with_deadline(argv, out_path, deadline);
+  // With telemetry on, hand the worker its shard path and blank out
+  // VMAP_TRACE: inherited, every worker would clobber the supervisor's
+  // own trace file; the shard is the only per-worker trace output.
+  std::vector<std::string> env;
+  if (telemetry_on_) {
+    env.push_back(std::string(kShardEnv) + "=" +
+                  shard_path_for_job(options_.work_dir, job_index));
+    env.push_back("VMAP_TRACE=");
+  }
+
+  StatusOr<ExitStatus> exit =
+      run_with_deadline(argv, out_path, deadline, env);
 
   Status failure;
   if (!exit.ok()) {
@@ -166,10 +185,46 @@ StatusOr<JobResult> SweepSupervisor::run_attempt(
       StatusOr<JobResult> result = parse_result_output(*output);
       if (result.ok()) {
         std::remove(out_path.c_str());
+        if (telemetry_on_) {
+          // The job ended clean: any flight tail from an earlier failed
+          // attempt is stale now, and the shard (written by the worker's
+          // atexit hook before it exited) gets a journal record so the
+          // artifact is traceable from the replay alone.
+          std::remove(
+              flight_path_for_job(options_.work_dir, job_index).c_str());
+          const std::string shard =
+              shard_path_for_job(options_.work_dir, job_index);
+          if (std::ifstream(shard).good()) {
+            JournalRecord rec;
+            rec.event = JobEvent::kShardWritten;
+            rec.job_index = job_index;
+            rec.scenario_hash = scenario.hash();
+            rec.attempt = attempt;
+            rec.detail = shard;
+            std::lock_guard<std::mutex> lock(g_journal_mutex);
+            const Status st = journal_.append(rec);
+            if (!st.ok()) return st;
+          }
+        }
         return result;
       }
       *failure_class = "garbage_output";
       failure = result.status();
+    }
+  }
+
+  // Failed attempt: before journaling, salvage the worker's flight-
+  // recorder tail out of its captured output (the crash/TERM handlers
+  // dump "FLIGHT ..." lines to stderr). The latest failure's tail wins;
+  // a later clean attempt deletes it again.
+  if (telemetry_on_) {
+    StatusOr<std::string> captured = read_file(out_path);
+    if (captured.ok()) {
+      const std::vector<flight::Event> tail = flight::parse_dump(*captured);
+      if (!tail.empty())
+        (void)write_file_atomic(
+            flight_path_for_job(options_.work_dir, job_index),
+            flight::format_events(tail));
     }
   }
 
@@ -233,6 +288,10 @@ StatusOr<SweepResult> SweepSupervisor::run() {
   if (scenarios.empty())
     return Status::InvalidArgument("scenario matrix expands to zero jobs");
   matrix_hash_ = matrix_.hash();
+  const char* trace_env = std::getenv("VMAP_TRACE");
+  telemetry_on_ =
+      options_.telemetry == TelemetryMode::kOn ||
+      (options_.telemetry == TelemetryMode::kAuto && trace_env && *trace_env);
   const std::string journal_path = options_.work_dir + "/sweep.journal";
 
   SweepResult result;
@@ -330,11 +389,43 @@ StatusOr<SweepResult> SweepSupervisor::run() {
     if (row.attempts > 1) result.retries_total += row.attempts - 1;
   }
 
+  // Telemetry merge: one fleet-wide Chrome trace from the per-job shards
+  // plus the deterministic counter aggregates for the JSON report. Runs
+  // before the reports so the aggregates section rides along.
+  std::string telemetry_json;
+  if (telemetry_on_) {
+    std::vector<JobTelemetry> jobs;
+    jobs.reserve(result.rows.size());
+    for (const SweepRow& row : result.rows) {
+      JobTelemetry jt;
+      jt.job_index = row.job_index;
+      jt.scenario = row.scenario;
+      jt.status = row.completed ? "completed"
+                                : "quarantined:" + row.failure_class;
+      jt.shard_path = shard_path_for_job(options_.work_dir, row.job_index);
+      if (!row.completed)
+        jt.flight_path =
+            flight_path_for_job(options_.work_dir, row.job_index);
+      jobs.push_back(std::move(jt));
+    }
+    StatusOr<MergeOutput> merged = merge_job_telemetry(jobs);
+    if (!merged.ok()) return merged.status();
+    Status trace_st = write_file_atomic(
+        options_.work_dir + "/sweep_trace.json", merged->trace_json);
+    if (!trace_st.ok()) return trace_st;
+    telemetry_json = merged->aggregates_json;
+    if (options_.verbose)
+      VMAP_LOG(kInfo) << "sweep telemetry: merged " << merged->shards_merged
+                      << " shards (" << merged->shards_missing
+                      << " missing), " << merged->flight_jobs
+                      << " flight tails";
+  }
+
   Status st = write_file_atomic(options_.work_dir + "/sweep_report.csv",
                                 result.csv());
   if (!st.ok()) return st;
   st = write_file_atomic(options_.work_dir + "/sweep_report.json",
-                         result.json(matrix_hash_));
+                         result.json(matrix_hash_, telemetry_json));
   if (!st.ok()) return st;
   return result;
 }

@@ -44,6 +44,12 @@ struct ChaosConfig {
   std::size_t injected_deadline_ms = 2000;
 };
 
+/// Cross-process telemetry switch. kAuto follows the supervisor's own
+/// VMAP_TRACE environment variable: when the operator asked for a trace,
+/// the fleet produces shards and a merged trace; otherwise the sweep is
+/// bit-identical to the pre-telemetry engine.
+enum class TelemetryMode { kAuto, kOn, kOff };
+
 struct SweepOptions {
   /// Worker command prefix, e.g. {"build/tools/sweep_worker"}. The
   /// supervisor appends: --scenario <spec> --job <i> --attempt <k>
@@ -58,6 +64,7 @@ struct SweepOptions {
   double backoff_multiplier = 2.0;
   bool resume = false;             ///< replay + continue the journal
   bool verbose = false;
+  TelemetryMode telemetry = TelemetryMode::kAuto;
   ChaosConfig chaos;
 };
 
@@ -84,8 +91,12 @@ struct SweepResult {
 
   /// Deterministic aggregate report (no attempt counts, no timings):
   /// byte-identical across uninterrupted / killed+resumed / chaos runs.
+  /// `telemetry_json`, when non-empty, is embedded as the "telemetry"
+  /// section — per-axis COUNTER aggregates only, which are themselves
+  /// deterministic, so the byte-identity contract survives telemetry.
   std::string csv() const;
-  std::string json(std::uint64_t matrix_hash) const;
+  std::string json(std::uint64_t matrix_hash,
+                   const std::string& telemetry_json = "") const;
 };
 
 class SweepSupervisor {
@@ -93,9 +104,11 @@ class SweepSupervisor {
   SweepSupervisor(ScenarioMatrix matrix, SweepOptions options);
 
   /// Runs (or resumes) the sweep to completion and writes
-  /// work_dir/sweep_report.{csv,json} atomically. Fails only on harness
-  /// errors (unwritable journal, matrix mismatch on resume) — job
-  /// failures quarantine instead.
+  /// work_dir/sweep_report.{csv,json} atomically. With telemetry on it
+  /// also merges the workers' shards into work_dir/sweep_trace.json and
+  /// embeds the per-axis counter aggregates in the JSON report. Fails
+  /// only on harness errors (unwritable journal, matrix mismatch on
+  /// resume) — job failures quarantine instead.
   StatusOr<SweepResult> run();
 
  private:
@@ -110,6 +123,7 @@ class SweepSupervisor {
   SweepOptions options_;
   SweepJournal journal_;
   std::uint64_t matrix_hash_ = 0;
+  bool telemetry_on_ = false;
 };
 
 }  // namespace vmap::sweep

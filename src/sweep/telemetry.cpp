@@ -1,0 +1,296 @@
+#include "sweep/telemetry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "grid/power_grid.hpp"
+#include "util/atomic_file.hpp"
+#include "util/flight_recorder.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace vmap::sweep {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// --- worker side ------------------------------------------------------
+
+/// Leaky singleton: the atexit hook may run after main()'s locals are
+/// gone, and the state must survive until then.
+struct WorkerShard {
+  std::string path;
+  std::size_t job = 0;
+  std::size_t attempt = 0;
+  std::string spec;
+  bool armed = false;
+};
+
+WorkerShard* worker_shard() {
+  static WorkerShard* s = new WorkerShard();  // intentionally leaked
+  return s;
+}
+
+void shard_at_exit() { (void)write_telemetry_shard(); }
+
+// --- supervisor side --------------------------------------------------
+
+bool read_file_to(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+void set_member(json::Value& obj, const std::string& key, json::Value v) {
+  for (auto& [k, val] : obj.mutable_object()) {
+    if (k == key) {
+      val = std::move(v);
+      return;
+    }
+  }
+  obj.mutable_object().emplace_back(key, std::move(v));
+}
+
+/// Loads and validates one shard document. False (and untouched output)
+/// when the file is absent, unparseable, or names a different job — the
+/// merge degrades to a counted gap, it never aborts the sweep.
+bool load_shard(const JobTelemetry& job, json::Value& shard) {
+  std::string bytes;
+  if (!read_file_to(job.shard_path, bytes)) return false;
+  StatusOr<json::Value> doc = json::parse(bytes);
+  if (!doc.ok() || !doc->is_object()) return false;
+  const json::Value* job_field = doc->find("job");
+  if (!job_field || !job_field->is_number() ||
+      static_cast<std::size_t>(job_field->as_number()) != job.job_index)
+    return false;
+  const json::Value* trace = doc->find("trace");
+  if (!trace || !trace->is_object() || !trace->find("traceEvents") ||
+      !trace->find("traceEvents")->is_array())
+    return false;
+  shard = std::move(*doc);
+  return true;
+}
+
+/// The six scenario axes, as (axis name, canonical value) pairs — the
+/// keys the aggregate section groups counters under.
+std::vector<std::pair<std::string, std::string>> axis_values(
+    const Scenario& sc) {
+  return {
+      {"pads", grid::pad_arrangement_name(sc.pads)},
+      {"density", fmt_double(sc.density)},
+      {"layers", sc.two_layer ? "2" : "1"},
+      {"cores", std::to_string(sc.cores_x) + "x" + std::to_string(sc.cores_y)},
+      {"vdd_offset", fmt_double(sc.vdd_offset)},
+      {"workload", sc.workload},
+  };
+}
+
+using CounterMap = std::map<std::string, std::uint64_t>;
+
+void append_counter_map(std::string& out, const CounterMap& counters) {
+  out += "{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    json::escape_into(out, name);
+    out += "\":" + std::to_string(value);
+  }
+  out += "}";
+}
+
+}  // namespace
+
+bool init_worker_telemetry_from_env(std::size_t job, std::size_t attempt,
+                                    const std::string& scenario_spec) {
+  const char* env = std::getenv(kShardEnv);
+  if (!env || !*env) return false;
+  WorkerShard* s = worker_shard();
+  s->path = env;
+  s->job = job;
+  s->attempt = attempt;
+  s->spec = scenario_spec;
+  if (!s->armed) std::atexit(shard_at_exit);
+  s->armed = true;
+  trace_enable_capture();
+  return true;
+}
+
+Status write_telemetry_shard() {
+  WorkerShard* s = worker_shard();
+  if (!s->armed) return Status::Ok();
+  std::string doc = "{\"schema\":1,\"job\":" + std::to_string(s->job) +
+                    ",\"attempt\":" + std::to_string(s->attempt) +
+                    ",\"scenario\":\"";
+  json::escape_into(doc, s->spec);
+  doc += "\",\"metrics\":" + metrics::snapshot_json() +
+         ",\"trace\":" + trace_events_json() + "}\n";
+  return write_file_atomic(s->path, doc);
+}
+
+std::string shard_path_for_job(const std::string& work_dir, std::size_t job) {
+  return work_dir + "/job_" + std::to_string(job) + ".shard.json";
+}
+
+std::string flight_path_for_job(const std::string& work_dir, std::size_t job) {
+  return work_dir + "/job_" + std::to_string(job) + ".flight";
+}
+
+StatusOr<MergeOutput> merge_job_telemetry(
+    const std::vector<JobTelemetry>& jobs) {
+  MergeOutput out;
+  std::string& t = out.trace_json;
+  t = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&](const std::string& row) {
+    if (!first) t += ",\n";
+    first = false;
+    t += row;
+  };
+  emit("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"sweep_supervisor\"}}");
+
+  CounterMap counters_total;
+  // axis -> axis value -> counter name -> summed value. std::map keys
+  // keep every aggregate section sorted, hence byte-stable.
+  std::map<std::string, std::map<std::string, CounterMap>> by_axis;
+
+  for (const JobTelemetry& job : jobs) {
+    const std::string pid = std::to_string(job.job_index + 2);
+    std::string row = "{\"ph\":\"M\",\"pid\":" + pid +
+                      ",\"tid\":0,\"name\":\"process_name\",\"args\":"
+                      "{\"name\":\"job_" +
+                      std::to_string(job.job_index) + " ";
+    json::escape_into(row, job.scenario.id());
+    row += "\"}}";
+    emit(row);
+    row = "{\"ph\":\"M\",\"pid\":" + pid +
+          ",\"tid\":0,\"name\":\"process_labels\",\"args\":{\"labels\":\"";
+    json::escape_into(row, job.status);
+    row += "\"}}";
+    emit(row);
+
+    json::Value shard;
+    if (load_shard(job, shard)) {
+      ++out.shards_merged;
+      const json::Value* attempt = shard.find("attempt");
+      const long long attempt_n =
+          attempt && attempt->is_number()
+              ? static_cast<long long>(attempt->as_number())
+              : -1;
+      // One instant event carrying the job metadata the ISSUE wants on
+      // every job row: scenario spec, attempt number, outcome.
+      row = "{\"ph\":\"i\",\"pid\":" + pid +
+            ",\"tid\":0,\"name\":\"job_meta\",\"ts\":0,\"s\":\"p\","
+            "\"args\":{\"scenario\":\"";
+      json::escape_into(row, job.scenario.spec());
+      row += "\",\"attempt\":" + std::to_string(attempt_n) +
+             ",\"status\":\"";
+      json::escape_into(row, job.status);
+      row += "\"}}";
+      emit(row);
+
+      // Re-emit the worker's events under this job's pid. Serialization
+      // goes through the parsed values, so the bytes depend only on the
+      // shard contents, never on merge-time state.
+      json::Value* trace = const_cast<json::Value*>(shard.find("trace"));
+      json::Value* events =
+          const_cast<json::Value*>(trace->find("traceEvents"));
+      for (json::Value& ev : events->mutable_array()) {
+        if (!ev.is_object()) continue;
+        set_member(ev, "pid",
+                   json::Value::make_number(
+                       static_cast<double>(job.job_index + 2)));
+        emit(json::serialize(ev));
+      }
+
+      const json::Value* metrics_obj = shard.find("metrics");
+      const json::Value* counters =
+          metrics_obj ? metrics_obj->find("counters") : nullptr;
+      if (counters && counters->is_object()) {
+        for (const auto& [name, value] : counters->as_object()) {
+          if (!value.is_number()) continue;
+          const auto v = static_cast<std::uint64_t>(value.as_number());
+          counters_total[name] += v;
+          for (const auto& [axis, axis_value] : axis_values(job.scenario))
+            by_axis[axis][axis_value][name] += v;
+        }
+      }
+    } else {
+      ++out.shards_missing;
+    }
+
+    // Quarantined jobs' flight-recorder tails ride along as instant
+    // events on a dedicated timeline row (ts is the tail position — the
+    // ring has no wall clock, and artificial timestamps keep the merge
+    // deterministic).
+    std::string flight_text;
+    if (!job.flight_path.empty() && read_file_to(job.flight_path,
+                                                 flight_text)) {
+      const std::vector<flight::Event> tail =
+          flight::parse_dump(flight_text);
+      if (!tail.empty()) {
+        ++out.flight_jobs;
+        emit("{\"ph\":\"M\",\"pid\":" + pid +
+             ",\"tid\":9999,\"name\":\"thread_name\",\"args\":{\"name\":"
+             "\"flight_recorder\"}}");
+        for (std::size_t i = 0; i < tail.size(); ++i) {
+          const flight::Event& e = tail[i];
+          row = "{\"ph\":\"i\",\"pid\":" + pid +
+                ",\"tid\":9999,\"name\":\"flight:";
+          json::escape_into(row, flight::event_kind_name(e.kind));
+          row += ":";
+          json::escape_into(row, e.name);
+          row += "\",\"ts\":" + std::to_string(i) +
+                 ",\"s\":\"t\",\"args\":{\"seq\":" + std::to_string(e.seq) +
+                 ",\"tid\":" + std::to_string(e.tid) + ",\"value\":" +
+                 fmt_double(e.value) + "}}";
+          emit(row);
+        }
+      }
+    }
+  }
+  t += "\n]}\n";
+
+  std::string& agg = out.aggregates_json;
+  agg = "{\n    \"shards_merged\": " + std::to_string(out.shards_merged) +
+        ",\n    \"shards_missing\": " + std::to_string(out.shards_missing) +
+        ",\n    \"flight_jobs\": " + std::to_string(out.flight_jobs) +
+        ",\n    \"counters_total\": ";
+  append_counter_map(agg, counters_total);
+  agg += ",\n    \"by_axis\": {";
+  bool first_axis = true;
+  for (const auto& [axis, values] : by_axis) {
+    if (!first_axis) agg += ",";
+    first_axis = false;
+    agg += "\n      \"" + axis + "\": {";
+    bool first_value = true;
+    for (const auto& [value, counters] : values) {
+      if (!first_value) agg += ",";
+      first_value = false;
+      agg += "\n        \"";
+      json::escape_into(agg, value);
+      agg += "\": ";
+      append_counter_map(agg, counters);
+    }
+    agg += "\n      }";
+  }
+  agg += by_axis.empty() ? "}\n  }" : "\n    }\n  }";
+  return out;
+}
+
+}  // namespace vmap::sweep

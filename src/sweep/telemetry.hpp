@@ -1,0 +1,80 @@
+#pragma once
+// Cross-process telemetry for the sweep fleet: per-worker shards, the
+// supervisor-side merge, and per-axis metric aggregation.
+//
+// Each sweep_worker writes one shard file — its Chrome trace (captured
+// in-process, no output path) plus a metrics snapshot and its job
+// identity — via atomic tmp+fsync+rename, to the path the supervisor
+// hands down in the VMAP_TELEMETRY_SHARD environment variable. The
+// supervisor, after the sweep, merges every job's shard into ONE Chrome
+// trace: worker pids are remapped to job_index + 2 (pid 1 is the
+// supervisor's own row), each job gets process metadata rows carrying
+// its scenario spec, attempt number, and outcome, and quarantined jobs
+// carry their flight-recorder tail as instant events. The merge iterates
+// jobs in canonical order and serializes with fixed formatting, so the
+// merged document is byte-stable for a given set of shard/flight files —
+// shard discovery order can never leak into the bytes.
+//
+// Worker metrics fold into the sweep report as per-axis COUNTER
+// aggregates only: counters are deterministic per scenario (workers are
+// single-threaded and the clean attempt's shard always wins), so the
+// aggregate section preserves the report's byte-identity across
+// uninterrupted / killed+resumed / chaos runs. Gauges and time
+// histograms stay in the shards, where wall-clock nondeterminism is
+// expected.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/scenario.hpp"
+#include "util/status.hpp"
+
+namespace vmap::sweep {
+
+/// Environment variable naming the shard file a worker must write.
+inline constexpr const char* kShardEnv = "VMAP_TELEMETRY_SHARD";
+
+// --- worker side ------------------------------------------------------
+
+/// When VMAP_TELEMETRY_SHARD is set, switches tracing into capture mode
+/// (spans collected, no trace file of its own) and registers an atexit
+/// hook that writes the shard atomically. Returns true when shard
+/// telemetry is now active. Call once, early in main().
+bool init_worker_telemetry_from_env(std::size_t job, std::size_t attempt,
+                                    const std::string& scenario_spec);
+
+/// Writes the shard immediately (the atexit hook calls this). No-op
+/// returning Ok when init never armed a shard path.
+Status write_telemetry_shard();
+
+// --- supervisor side --------------------------------------------------
+
+/// One job's telemetry inputs, in canonical job order.
+struct JobTelemetry {
+  std::size_t job_index = 0;
+  Scenario scenario;
+  std::string status;       ///< "completed" or "quarantined:<class>"
+  std::string shard_path;   ///< may not exist (crashed-only jobs)
+  std::string flight_path;  ///< may not exist (non-quarantined jobs)
+};
+
+struct MergeOutput {
+  std::string trace_json;       ///< the merged Chrome trace document
+  std::string aggregates_json;  ///< "telemetry" section for the report
+  std::size_t shards_merged = 0;
+  std::size_t shards_missing = 0;  ///< absent or unparseable shard files
+  std::size_t flight_jobs = 0;     ///< jobs that carried a flight tail
+};
+
+/// Merges every job's shard and flight tail. kIo/kCorruption only on
+/// harness-level failures; a missing or corrupt shard degrades to a
+/// counted gap (the sweep itself already classified the job).
+StatusOr<MergeOutput> merge_job_telemetry(
+    const std::vector<JobTelemetry>& jobs);
+
+/// Canonical per-job artifact paths under a sweep work dir.
+std::string shard_path_for_job(const std::string& work_dir, std::size_t job);
+std::string flight_path_for_job(const std::string& work_dir, std::size_t job);
+
+}  // namespace vmap::sweep

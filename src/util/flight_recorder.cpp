@@ -1,0 +1,283 @@
+#include "util/flight_recorder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace vmap::flight {
+
+namespace {
+
+constexpr std::size_t kNameWords = kNameBytes / sizeof(std::uint64_t);
+
+/// One ring slot. Every field is an atomic so a dump racing a writer is a
+/// detected torn read (seq mismatch), never a data race. The writer
+/// protocol: store seq=0 (busy), release fence, relaxed payload stores,
+/// release-store the real seq last.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint8_t> kind{0};
+  std::atomic<double> value{0.0};
+  std::atomic<std::uint64_t> name[kNameWords];
+};
+
+/// One thread's ring. Intentionally leaked and kept on a push-only global
+/// list: a crashing thread can dump every other thread's recent events,
+/// including threads that already exited.
+struct Ring {
+  Slot slots[kRingSlots];
+  std::atomic<std::uint64_t> next{0};
+  std::uint32_t tid = 0;
+  Ring* next_ring = nullptr;
+};
+
+std::atomic<Ring*> g_rings{nullptr};
+std::atomic<std::uint32_t> g_next_tid{0};
+std::atomic<std::uint64_t> g_seq{0};
+
+// -1 = environment not yet consulted, 0 = off, 1 = on (the default).
+std::atomic<int> g_enabled{-1};
+
+thread_local Ring* t_ring = nullptr;
+
+bool init_from_env() {
+  const char* env = std::getenv("VMAP_FLIGHT");
+  int on = 1;
+  if (env && *env) {
+    const std::string v(env);
+    if (v == "0" || v == "off" || v == "false") on = 0;
+  }
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, on, std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed) == 1;
+}
+
+Ring* local_ring() {
+  if (t_ring) return t_ring;
+  Ring* ring = new Ring();  // intentionally leaked (see Ring comment)
+  ring->tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  ring->next_ring = g_rings.load(std::memory_order_relaxed);
+  while (!g_rings.compare_exchange_weak(ring->next_ring, ring,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+  }
+  t_ring = ring;
+  return ring;
+}
+
+/// Tries to decode one slot; false when empty or torn mid-write.
+bool read_slot(const Slot& slot, std::uint32_t tid, Event& out) {
+  const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+  if (s1 == 0) return false;
+  std::uint64_t words[kNameWords];
+  out.kind = static_cast<EventKind>(slot.kind.load(std::memory_order_relaxed));
+  out.value = slot.value.load(std::memory_order_relaxed);
+  for (std::size_t w = 0; w < kNameWords; ++w)
+    words[w] = slot.name[w].load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.seq.load(std::memory_order_relaxed) != s1) return false;
+  out.seq = s1;
+  out.tid = tid;
+  std::memcpy(out.name, words, kNameBytes);
+  out.name[kNameBytes - 1] = '\0';
+  return true;
+}
+
+/// Collects every live slot into `buf` (capacity `cap`), evicting the
+/// oldest event when full so the newest ~cap always survive. Allocation-
+/// free: usable from the fatal-signal dump path.
+std::size_t collect(Event* buf, std::size_t cap) {
+  std::size_t n = 0;
+  for (Ring* ring = g_rings.load(std::memory_order_acquire); ring;
+       ring = ring->next_ring) {
+    for (std::size_t i = 0; i < kRingSlots; ++i) {
+      Event e;
+      if (!read_slot(ring->slots[i], ring->tid, e)) continue;
+      if (n < cap) {
+        buf[n++] = e;
+      } else {
+        std::size_t oldest = 0;
+        for (std::size_t j = 1; j < n; ++j)
+          if (buf[j].seq < buf[oldest].seq) oldest = j;
+        if (buf[oldest].seq < e.seq) buf[oldest] = e;
+      }
+    }
+  }
+  std::sort(buf, buf + n,
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return n;
+}
+
+std::size_t format_line(const Event& e, char* buf, std::size_t cap) {
+  const int n =
+      std::snprintf(buf, cap, "FLIGHT %llu %u %s %.17g %s\n",
+                    static_cast<unsigned long long>(e.seq), e.tid,
+                    event_kind_name(e.kind), e.value, e.name);
+  if (n < 0) return 0;
+  return std::min(static_cast<std::size_t>(n), cap - 1);
+}
+
+volatile std::sig_atomic_t g_crash_entered = 0;
+
+extern "C" void crash_dump_handler(int sig) {
+  // One shot: a fault inside the dump falls through to the default action.
+  if (!g_crash_entered) {
+    g_crash_entered = 1;
+    char head[64];
+    const int n = std::snprintf(head, sizeof(head),
+                                "[flight] fatal signal %d; ring dump:\n", sig);
+#if defined(__unix__) || defined(__APPLE__)
+    if (n > 0) {
+      const ssize_t ignored = ::write(2, head, static_cast<std::size_t>(n));
+      (void)ignored;
+    }
+#else
+    (void)n;
+#endif
+    dump(2);
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpanBegin: return "span_begin";
+    case EventKind::kSpanEnd: return "span_end";
+    case EventKind::kNote: return "note";
+    case EventKind::kCounter: return "counter";
+  }
+  return "?";
+}
+
+bool enabled() {
+  const int s = g_enabled.load(std::memory_order_relaxed);
+  if (s < 0) return init_from_env();
+  return s == 1;
+}
+
+void set_enabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void record(EventKind kind, const char* name, double value) {
+  if (!enabled() || !name) return;
+  Ring* ring = local_ring();
+  const std::uint64_t seq = g_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot =
+      ring->slots[ring->next.fetch_add(1, std::memory_order_relaxed) &
+                  (kRingSlots - 1)];
+  slot.seq.store(0, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  slot.value.store(value, std::memory_order_relaxed);
+  std::uint64_t words[kNameWords] = {};
+  char packed[kNameBytes] = {};
+  std::strncpy(packed, name, kNameBytes - 1);
+  std::memcpy(words, packed, kNameBytes);
+  for (std::size_t w = 0; w < kNameWords; ++w)
+    slot.name[w].store(words[w], std::memory_order_relaxed);
+  slot.seq.store(seq, std::memory_order_release);
+}
+
+void note(const char* name) { record(EventKind::kNote, name); }
+
+std::vector<Event> snapshot() {
+  std::vector<Event> out(2048);
+  out.resize(collect(out.data(), out.size()));
+  return out;
+}
+
+std::size_t dump(int fd) {
+#if defined(__unix__) || defined(__APPLE__)
+  // Stack buffer, write(2), snprintf — no allocation, signal-tolerable.
+  // 1024 events keeps four full rings; older events are evicted first.
+  Event buf[1024];
+  const std::size_t n = collect(buf, sizeof(buf) / sizeof(buf[0]));
+  for (std::size_t i = 0; i < n; ++i) {
+    char line[128];
+    const std::size_t len = format_line(buf[i], line, sizeof(line));
+    if (len > 0) {
+      const ssize_t ignored = ::write(fd, line, len);
+      (void)ignored;
+    }
+  }
+  return n;
+#else
+  (void)fd;
+  return 0;
+#endif
+}
+
+void install_crash_dump() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  std::signal(SIGSEGV, crash_dump_handler);
+  std::signal(SIGABRT, crash_dump_handler);
+}
+
+std::vector<Event> parse_dump(const std::string& text) {
+  std::vector<Event> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.rfind("FLIGHT ", 0) != 0) continue;
+    char kind_buf[32] = {};
+    char name_buf[kNameBytes] = {};
+    unsigned long long seq = 0;
+    unsigned tid = 0;
+    double value = 0.0;
+    if (std::sscanf(line.c_str(), "FLIGHT %llu %u %31s %lf %23s", &seq, &tid,
+                    kind_buf, &value, name_buf) < 4)
+      continue;
+    Event e;
+    e.seq = seq;
+    e.tid = tid;
+    e.value = value;
+    const std::string kind(kind_buf);
+    if (kind == "span_begin") e.kind = EventKind::kSpanBegin;
+    else if (kind == "span_end") e.kind = EventKind::kSpanEnd;
+    else if (kind == "counter") e.kind = EventKind::kCounter;
+    else if (kind == "note") e.kind = EventKind::kNote;
+    else continue;
+    std::memcpy(e.name, name_buf, kNameBytes);
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::string format_events(const std::vector<Event>& events) {
+  std::string out;
+  for (const Event& e : events) {
+    char line[128];
+    const std::size_t len = format_line(e, line, sizeof(line));
+    out.append(line, len);
+  }
+  return out;
+}
+
+void reset_for_test() {
+  for (Ring* ring = g_rings.load(std::memory_order_acquire); ring;
+       ring = ring->next_ring) {
+    for (std::size_t i = 0; i < kRingSlots; ++i)
+      ring->slots[i].seq.store(0, std::memory_order_relaxed);
+    ring->next.store(0, std::memory_order_relaxed);
+  }
+  g_seq.store(0, std::memory_order_relaxed);
+  g_enabled.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace vmap::flight

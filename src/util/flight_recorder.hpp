@@ -1,0 +1,99 @@
+#pragma once
+// Crash flight recorder: a lock-free, always-on ring of recent events.
+//
+// Every thread that records gets its own fixed 256-slot ring of the most
+// recent span begins/ends and free-form notes. Recording is wait-free
+// (a few relaxed atomic stores plus one release store), allocates nothing
+// after the ring is created, and is cheap enough to leave on even when
+// tracing is off — it is the black box that survives the crash tracing
+// cannot. VMAP_FLIGHT=0 disables it entirely.
+//
+// dump(fd) walks every ring and writes one "FLIGHT <seq> <tid> <kind>
+// <name>" line per live slot, oldest first, using only write(2) and
+// stack buffers — tolerable from the one-shot fatal-signal handler
+// (bench/common installs it for SIGSEGV/SIGABRT, and the existing
+// SIGINT/SIGTERM flush path calls it too). The sweep supervisor greps
+// those lines out of a crashed worker's captured output and attaches
+// them to the job's quarantine record, so `crash_signal_N` and
+// `hang_timeout` rows come with the worker's last ~256 events.
+//
+// TSan contract: every slot field is an atomic. A writer claims a slot by
+// storing seq=0 (busy), relaxed-stores the payload, then release-stores
+// the real sequence number; readers acquire-load seq, copy the payload,
+// and re-check seq — a torn slot is detected and skipped, never a data
+// race.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vmap::flight {
+
+/// What one ring slot records.
+enum class EventKind : std::uint8_t {
+  kSpanBegin = 1,
+  kSpanEnd = 2,
+  kNote = 3,     ///< free-form marker (worker start, chaos injection, ...)
+  kCounter = 4,  ///< metric counter increment (name + value)
+};
+
+const char* event_kind_name(EventKind kind);
+
+/// Max recorded name bytes per event (longer names are truncated — the
+/// recorder never allocates).
+constexpr std::size_t kNameBytes = 24;
+
+/// Slots per thread ring. Power of two so wraparound is a mask.
+constexpr std::size_t kRingSlots = 256;
+
+/// True when recording is active (default on; VMAP_FLIGHT=0 disables).
+/// One relaxed atomic load on the hot path.
+bool enabled();
+
+/// Test/tool override of the environment switch.
+void set_enabled(bool on);
+
+/// Records one event into this thread's ring. Wait-free, no allocation
+/// after the first call on a thread; no-op when disabled.
+void record(EventKind kind, const char* name, double value = 0.0);
+
+/// Convenience: record(kNote, name).
+void note(const char* name);
+
+/// One decoded ring slot, for dumps and tests.
+struct Event {
+  std::uint64_t seq = 0;  ///< global order (1-based, monotonic)
+  std::uint32_t tid = 0;  ///< recorder's ring id (stable per thread)
+  EventKind kind = EventKind::kNote;
+  double value = 0.0;
+  char name[kNameBytes] = {};  ///< NUL-terminated, possibly truncated
+};
+
+/// Copies every live slot from every ring, sorted by seq (oldest first).
+/// Safe to call while other threads record; torn slots are skipped.
+std::vector<Event> snapshot();
+
+/// Writes the snapshot to `fd` as "FLIGHT <seq> <tid> <kind> <value> <name>"
+/// lines using only async-signal-safe calls (write(2), stack formatting).
+/// Returns the number of events written.
+std::size_t dump(int fd);
+
+/// Installs one-shot SIGSEGV/SIGABRT handlers that dump the rings to
+/// stderr and re-raise with the default action. Idempotent. (SIGINT and
+/// SIGTERM stay owned by bench/common's flush handler, which calls
+/// dump() itself.)
+void install_crash_dump();
+
+/// Parses dump lines back out of captured process output: every line
+/// starting with "FLIGHT " is decoded, malformed ones are skipped.
+std::vector<Event> parse_dump(const std::string& text);
+
+/// Re-renders events as dump text (one "FLIGHT ..." line each) — what the
+/// supervisor stores in a quarantined job's .flight file.
+std::string format_events(const std::vector<Event>& events);
+
+/// Drops all rings and the sequence counter. Test-only: callers must
+/// guarantee no concurrent record().
+void reset_for_test();
+
+}  // namespace vmap::flight

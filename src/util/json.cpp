@@ -1,0 +1,280 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vmap::json {
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::make_number(double n) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::make_array(Array a) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::make_shared<Array>(std::move(a));
+  return v;
+}
+
+Value Value::make_object(Object o) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::make_shared<Object>(std::move(o));
+  return v;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : *object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  Status error(const std::string& what) const {
+    return Status::Corruption("json parse error at byte " +
+                              std::to_string(pos) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(const char* w) {
+    std::size_t n = 0;
+    while (w[n]) ++n;
+    if (text.compare(pos, n, w) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  StatusOr<std::string> parse_string() {
+    if (!consume('"')) return error("expected '\"'");
+    std::string out;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return error("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) return error("truncated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return error("truncated \\u escape");
+          char buf[5] = {text[pos], text[pos + 1], text[pos + 2],
+                         text[pos + 3], 0};
+          char* end = nullptr;
+          const unsigned long cp = std::strtoul(buf, &end, 16);
+          if (end != buf + 4) return error("bad \\u escape");
+          pos += 4;
+          if (cp < 0x80) out += static_cast<char>(cp);
+          else out += '?';  // non-ASCII escapes: lossy but never malformed
+          break;
+        }
+        default:
+          return error("unknown escape");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  StatusOr<Value> parse_value(int depth) {
+    if (depth > 64) return error("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return error("unexpected end of document");
+    const char c = text[pos];
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') {
+      StatusOr<std::string> s = parse_string();
+      if (!s.ok()) return s.status();
+      return Value::make_string(std::move(*s));
+    }
+    if (consume_word("true")) return Value::make_bool(true);
+    if (consume_word("false")) return Value::make_bool(false);
+    if (consume_word("null")) return Value::make_null();
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str() + pos, &end);
+      if (end == text.c_str() + pos) return error("malformed number");
+      pos = static_cast<std::size_t>(end - text.c_str());
+      return Value::make_number(v);
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+
+  StatusOr<Value> parse_array(int depth) {
+    consume('[');
+    Array out;
+    skip_ws();
+    if (consume(']')) return Value::make_array(std::move(out));
+    while (true) {
+      StatusOr<Value> v = parse_value(depth + 1);
+      if (!v.ok()) return v.status();
+      out.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return Value::make_array(std::move(out));
+      if (!consume(',')) return error("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<Value> parse_object(int depth) {
+    consume('{');
+    Object out;
+    skip_ws();
+    if (consume('}')) return Value::make_object(std::move(out));
+    while (true) {
+      skip_ws();
+      StatusOr<std::string> key = parse_string();
+      if (!key.ok()) return key.status();
+      skip_ws();
+      if (!consume(':')) return error("expected ':'");
+      StatusOr<Value> v = parse_value(depth + 1);
+      if (!v.ok()) return v.status();
+      out.emplace_back(std::move(*key), std::move(*v));
+      skip_ws();
+      if (consume('}')) return Value::make_object(std::move(out));
+      if (!consume(',')) return error("expected ',' or '}'");
+    }
+  }
+};
+
+void serialize_into(std::string& out, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Value::Kind::kNumber: {
+      const double n = v.as_number();
+      char buf[40];
+      if (std::isfinite(n) && n == std::floor(n) && std::fabs(n) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(n));
+      } else {
+        // Shortest precision that round-trips: deterministic output
+        // without the %.17g noise on values like 12.345.
+        for (int prec = 15; prec <= 17; ++prec) {
+          std::snprintf(buf, sizeof(buf), "%.*g", prec, n);
+          if (std::strtod(buf, nullptr) == n) break;
+        }
+      }
+      out += buf;
+      break;
+    }
+    case Value::Kind::kString:
+      out += '"';
+      escape_into(out, v.as_string());
+      out += '"';
+      break;
+    case Value::Kind::kArray: {
+      out += '[';
+      const Array& a = v.as_array();
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i) out += ',';
+        serialize_into(out, a[i]);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      const Object& o = v.as_object();
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        escape_into(out, o[i].first);
+        out += "\":";
+        serialize_into(out, o[i].second);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<Value> parse(const std::string& text) {
+  Parser p{text};
+  StatusOr<Value> v = p.parse_value(0);
+  if (!v.ok()) return v.status();
+  p.skip_ws();
+  if (p.pos != text.size()) return p.error("trailing characters");
+  return v;
+}
+
+std::string serialize(const Value& value) {
+  std::string out;
+  serialize_into(out, value);
+  return out;
+}
+
+void escape_into(std::string& out, const std::string& in) {
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace vmap::json

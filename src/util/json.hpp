@@ -1,0 +1,84 @@
+#pragma once
+// Minimal recursive-descent JSON reader for the telemetry merge path.
+//
+// The sweep supervisor must re-read the Chrome-trace shards its workers
+// wrote (real JSON, so they stay loadable in chrome://tracing and by the
+// python tools) to merge them into one fleet trace. This parser covers
+// exactly what those documents contain — objects, arrays, strings with
+// escapes, doubles, bools, null — with strict errors on anything
+// malformed: a half-written shard must be reported, never half-merged.
+//
+// Not a general-purpose library: no streaming, no \uXXXX surrogate
+// pairs (escapes decode to '?'), numbers parse as double. Object keys
+// keep insertion order so a parse → serialize round trip is stable.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace vmap::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;
+
+/// One JSON value. A tagged union over the seven JSON kinds; arrays and
+/// objects own their children.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  static Value make_null() { return Value(); }
+  static Value make_bool(bool b);
+  static Value make_number(double n);
+  static Value make_string(std::string s);
+  static Value make_array(Array a);
+  static Value make_object(Object o);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return *array_; }
+  const Object& as_object() const { return *object_; }
+  Array& mutable_array() { return *array_; }
+  Object& mutable_object() { return *object_; }
+
+  /// First member with this key, or nullptr (also when not an object).
+  const Value* find(const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parses one complete JSON document. kCorruption on any syntax error or
+/// trailing non-whitespace, with a byte offset in the message.
+StatusOr<Value> parse(const std::string& text);
+
+/// Serializes a value back to compact JSON. Numbers print with %.17g
+/// (integers without a fraction), so the merge output is byte-stable for
+/// a given input set.
+std::string serialize(const Value& value);
+
+/// Escapes `in` into a JSON string literal body (no surrounding quotes).
+void escape_into(std::string& out, const std::string& in);
+
+}  // namespace vmap::json

@@ -188,6 +188,34 @@ std::vector<MetricValue> snapshot() {
   return out;
 }
 
+double histogram_quantile(const Histogram::Snapshot& snapshot, double q) {
+  if (snapshot.count == 0 || snapshot.counts.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(snapshot.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < snapshot.counts.size(); ++i) {
+    const std::uint64_t in_bucket = snapshot.counts[i];
+    if (in_bucket == 0) continue;
+    const double next = static_cast<double>(cumulative + in_bucket);
+    if (next >= rank) {
+      if (i >= snapshot.bounds.size()) {
+        // Overflow bucket: the true value is somewhere above the last
+        // finite bound — clamp rather than invent an upper edge.
+        return snapshot.bounds.empty() ? 0.0 : snapshot.bounds.back();
+      }
+      const double lower = i == 0 ? 0.0 : snapshot.bounds[i - 1];
+      const double upper = snapshot.bounds[i];
+      const double into =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, into));
+    }
+    cumulative += in_bucket;
+  }
+  return snapshot.bounds.empty() ? 0.0 : snapshot.bounds.back();
+}
+
 std::string snapshot_json() {
   Registry* r = registry();
   std::lock_guard<std::mutex> lock(r->mutex);
@@ -215,18 +243,73 @@ std::string snapshot_json() {
     json += "\"" + name + "\":{\"count\":" + std::to_string(s.count) +
             ",\"sum\":";
     append_double(json, s.sum);
+    json += ",\"p50\":";
+    append_double(json, histogram_quantile(s, 0.50));
+    json += ",\"p90\":";
+    append_double(json, histogram_quantile(s, 0.90));
+    json += ",\"p99\":";
+    append_double(json, histogram_quantile(s, 0.99));
     json += ",\"buckets\":[";
     for (std::size_t i = 0; i < s.counts.size(); ++i) {
       if (i) json += ",";
       json += "{\"le\":";
       if (i < s.bounds.size()) append_double(json, s.bounds[i]);
-      else json += "\"inf\"";
+      else json += "\"+Inf\"";
       json += ",\"count\":" + std::to_string(s.counts[i]) + "}";
     }
     json += "]}";
   }
   json += "}}";
   return json;
+}
+
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out = "vmap_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_text() {
+  Registry* r = registry();
+  std::lock_guard<std::mutex> lock(r->mutex);
+  std::string out;
+  for (const auto& [name, c] : r->counters) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : r->gauges) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " ";
+    append_double(out, g->value());
+    out += "\n";
+  }
+  for (const auto& [name, h] : r->histograms) {
+    const std::string p = prom_name(name);
+    const Histogram::Snapshot s = h->snapshot();
+    out += "# TYPE " + p + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < s.counts.size(); ++i) {
+      cumulative += s.counts[i];
+      out += p + "_bucket{le=\"";
+      if (i < s.bounds.size()) append_double(out, s.bounds[i]);
+      else out += "+Inf";
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += p + "_sum ";
+    append_double(out, s.sum);
+    out += "\n" + p + "_count " + std::to_string(s.count) + "\n";
+  }
+  return out;
 }
 
 void reset_all() {

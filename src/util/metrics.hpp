@@ -124,9 +124,25 @@ struct MetricValue {
 /// Every registered metric, sorted by name.
 std::vector<MetricValue> snapshot();
 
+/// Interpolated quantile (q in [0, 1]) from a histogram snapshot:
+/// linear within the bucket that crosses rank q·count, with the first
+/// bucket anchored at 0 and observations in the +Inf overflow bucket
+/// clamped to the last finite bound (the histogram cannot know more).
+/// 0 when the histogram is empty.
+double histogram_quantile(const Histogram::Snapshot& snapshot, double q);
+
 /// The snapshot as a JSON object:
-/// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,buckets}}}
+/// {"counters":{...},"gauges":{...},
+///  "histograms":{name:{count,sum,p50,p90,p99,buckets}}}
+/// The overflow bucket is reported with "le":"+Inf" (Prometheus
+/// convention), never folded into the top finite bucket.
 std::string snapshot_json();
+
+/// Prometheus text exposition of every registered metric: counters and
+/// gauges as single samples, histograms as cumulative _bucket{le="..."}
+/// series plus _sum and _count. Names are prefixed "vmap_" and
+/// non-[a-zA-Z0-9_] characters become '_'.
+std::string metrics_text();
 
 /// Zeroes every registered metric (registrations survive). Benches call
 /// this before a measured phase so reports describe that run alone.

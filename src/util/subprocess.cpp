@@ -1,6 +1,7 @@
 #include "util/subprocess.hpp"
 
 #include <chrono>
+#include <cstring>
 #include <thread>
 #include <utility>
 
@@ -9,6 +10,8 @@
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
+
+extern char** environ;
 #endif
 
 namespace vmap {
@@ -30,17 +33,44 @@ ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
 #if defined(__unix__) || defined(__APPLE__)
 
 StatusOr<ChildProcess> ChildProcess::spawn(
-    const std::vector<std::string>& argv, const std::string& stdout_path) {
+    const std::vector<std::string>& argv, const std::string& stdout_path,
+    const std::vector<std::string>& env_overrides) {
   if (argv.empty())
     return Status::InvalidArgument("spawn needs a non-empty argv");
 
-  // Build the exec vector before forking: the child must only call
+  // Build the exec vectors before forking: the child must only call
   // async-signal-safe functions (we may be forking from a threaded
   // supervisor, and malloc in the child can deadlock).
   std::vector<const char*> cargv;
   cargv.reserve(argv.size() + 1);
   for (const auto& a : argv) cargv.push_back(a.c_str());
   cargv.push_back(nullptr);
+
+  // Merged environment: inherited variables minus any whose KEY appears
+  // in an override, plus the overrides themselves.
+  std::vector<std::string> merged_env;
+  std::vector<const char*> cenvp;
+  if (!env_overrides.empty()) {
+    for (char** e = environ; e && *e; ++e) {
+      const char* entry = *e;
+      const char* eq = std::strchr(entry, '=');
+      const std::size_t key_len =
+          eq ? static_cast<std::size_t>(eq - entry) : std::strlen(entry);
+      bool overridden = false;
+      for (const std::string& o : env_overrides) {
+        if (o.size() > key_len && o[key_len] == '=' &&
+            o.compare(0, key_len, entry, key_len) == 0) {
+          overridden = true;
+          break;
+        }
+      }
+      if (!overridden) merged_env.emplace_back(entry);
+    }
+    for (const std::string& o : env_overrides) merged_env.push_back(o);
+    cenvp.reserve(merged_env.size() + 1);
+    for (const std::string& e : merged_env) cenvp.push_back(e.c_str());
+    cenvp.push_back(nullptr);
+  }
 
   const pid_t pid = ::fork();
   if (pid < 0) return Status::Io("fork failed for " + argv.front());
@@ -54,6 +84,10 @@ StatusOr<ChildProcess> ChildProcess::spawn(
         if (fd > STDERR_FILENO) ::close(fd);
       }
     }
+    // execvp resolves PATH against `environ`; repointing it at the
+    // pre-built merged block is async-signal-safe (no allocation) and
+    // portable where execvpe is not.
+    if (!cenvp.empty()) environ = const_cast<char**>(cenvp.data());
     ::execvp(cargv[0], const_cast<char* const*>(cargv.data()));
     _exit(127);  // exec failed; 127 mirrors the shell convention
   }
@@ -95,22 +129,30 @@ void ChildProcess::kill_hard() {
   if (pid_ > 0 && !reaped_) ::kill(static_cast<pid_t>(pid_), SIGKILL);
 }
 
+void ChildProcess::kill_soft() {
+  if (pid_ > 0 && !reaped_) ::kill(static_cast<pid_t>(pid_), SIGTERM);
+}
+
 #else  // non-POSIX stub
 
 StatusOr<ChildProcess> ChildProcess::spawn(const std::vector<std::string>&,
-                                           const std::string&) {
+                                           const std::string&,
+                                           const std::vector<std::string>&) {
   return Status::Io("subprocess spawning is POSIX-only");
 }
 std::optional<ExitStatus> ChildProcess::try_wait() { return std::nullopt; }
 ExitStatus ChildProcess::wait() { return status_; }
 void ChildProcess::kill_hard() {}
+void ChildProcess::kill_soft() {}
 
 #endif
 
-StatusOr<ExitStatus> run_with_deadline(const std::vector<std::string>& argv,
-                                       const std::string& stdout_path,
-                                       std::size_t deadline_ms) {
-  StatusOr<ChildProcess> child = ChildProcess::spawn(argv, stdout_path);
+StatusOr<ExitStatus> run_with_deadline(
+    const std::vector<std::string>& argv, const std::string& stdout_path,
+    std::size_t deadline_ms, const std::vector<std::string>& env_overrides,
+    std::size_t term_grace_ms) {
+  StatusOr<ChildProcess> child =
+      ChildProcess::spawn(argv, stdout_path, env_overrides);
   if (!child.ok()) return child.status();
 
   const auto start = std::chrono::steady_clock::now();
@@ -122,8 +164,27 @@ StatusOr<ExitStatus> run_with_deadline(const std::vector<std::string>& argv,
               std::chrono::steady_clock::now() - start)
               .count();
       if (static_cast<std::size_t>(elapsed) >= deadline_ms) {
-        child->kill_hard();
-        ExitStatus st = child->wait();
+        // TERM first: a worker's handler can still dump its flight rings
+        // into the captured output file. KILL only after the grace.
+        child->kill_soft();
+        const auto term_at = std::chrono::steady_clock::now();
+        ExitStatus st;
+        while (true) {
+          if (auto ended = child->try_wait()) {
+            st = *ended;
+            break;
+          }
+          const auto waited =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - term_at)
+                  .count();
+          if (static_cast<std::size_t>(waited) >= term_grace_ms) {
+            child->kill_hard();
+            st = child->wait();
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
         st.deadline_killed = true;
         return st;
       }

@@ -39,10 +39,15 @@ class ChildProcess {
 
   /// fork+execvp. argv[0] is the binary (PATH-resolved). When
   /// `stdout_path` is non-empty the child's stdout AND stderr are
-  /// redirected (truncating) to it. kIo when fork fails; exec failure
-  /// inside the child surfaces as exit code 127.
-  static StatusOr<ChildProcess> spawn(const std::vector<std::string>& argv,
-                                      const std::string& stdout_path);
+  /// redirected (truncating) to it. `env_overrides` entries
+  /// ("KEY=VALUE") replace any inherited variable with the same KEY; an
+  /// empty VALUE ("KEY=") effectively unsets it for env-switch consumers
+  /// that treat empty as absent (VMAP_TRACE does). The merged environment
+  /// is built before forking — the child touches no allocator. kIo when
+  /// fork fails; exec failure inside the child surfaces as exit code 127.
+  static StatusOr<ChildProcess> spawn(
+      const std::vector<std::string>& argv, const std::string& stdout_path,
+      const std::vector<std::string>& env_overrides = {});
 
   /// Non-blocking: the exit status if the child has ended, else nullopt.
   std::optional<ExitStatus> try_wait();
@@ -53,6 +58,10 @@ class ChildProcess {
   /// SIGKILL (no-op once reaped).
   void kill_hard();
 
+  /// SIGTERM (no-op once reaped) — gives the child a chance to dump its
+  /// flight-recorder rings before run_with_deadline() escalates.
+  void kill_soft();
+
   bool running() const { return pid_ > 0 && !reaped_; }
   std::int64_t pid() const { return pid_; }
 
@@ -62,11 +71,15 @@ class ChildProcess {
   ExitStatus status_;
 };
 
-/// Spawns argv, waits up to `deadline_ms` (0 = forever), SIGKILLs on
-/// expiry. The returned ExitStatus has deadline_killed set when the budget
-/// ran out. kIo only when the process could not be spawned at all.
-StatusOr<ExitStatus> run_with_deadline(const std::vector<std::string>& argv,
-                                       const std::string& stdout_path,
-                                       std::size_t deadline_ms);
+/// Spawns argv, waits up to `deadline_ms` (0 = forever). On expiry the
+/// child first gets SIGTERM and `term_grace_ms` to exit on its own (its
+/// signal handler can dump the flight recorder into the captured output);
+/// only then SIGKILL. The returned ExitStatus has deadline_killed set
+/// whenever the budget ran out, however the child died. kIo only when the
+/// process could not be spawned at all.
+StatusOr<ExitStatus> run_with_deadline(
+    const std::vector<std::string>& argv, const std::string& stdout_path,
+    std::size_t deadline_ms, const std::vector<std::string>& env_overrides = {},
+    std::size_t term_grace_ms = 500);
 
 }  // namespace vmap

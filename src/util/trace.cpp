@@ -90,6 +90,46 @@ int local_tid_locked(TraceState& s) {
   return t_tid;
 }
 
+void json_escape(std::string& out, const std::string& in);
+
+/// Serializes the full Chrome trace document. Caller holds the state
+/// mutex.
+std::string render_json_locked(TraceState& s) {
+  std::string json;
+  json.reserve(128 + s.events.size() * 160);
+  json += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& [tid, name] : s.thread_names) {
+    if (!first) json += ",\n";
+    first = false;
+    json += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+            ",\"name\":\"thread_name\",\"args\":{\"name\":\"" + name +
+            "\"}}";
+  }
+  char buf[96];
+  for (const auto& e : s.events) {
+    if (!first) json += ",\n";
+    first = false;
+    json += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+            ",\"name\":\"";
+    json_escape(json, e.name);
+    std::snprintf(buf, sizeof(buf), "\",\"ts\":%.3f,\"dur\":%.3f,", e.ts_us,
+                  e.dur_us);
+    json += buf;
+    json += "\"args\":{\"id\":" + std::to_string(e.id) +
+            ",\"parent\":" + std::to_string(e.parent);
+    for (int a = 0; a < e.num_args; ++a) {
+      json += ",\"";
+      json_escape(json, e.arg_keys[a]);
+      std::snprintf(buf, sizeof(buf), "\":%.17g", e.arg_values[a]);
+      json += buf;
+    }
+    json += "}}";
+  }
+  json += "\n]}\n";
+  return json;
+}
+
 void json_escape(std::string& out, const std::string& in) {
   for (char c : in) {
     switch (c) {
@@ -129,6 +169,16 @@ void trace_enable(const std::string& path) {
   g_state.store(1, std::memory_order_release);
 }
 
+void trace_enable_capture() {
+  TraceState* s = state();
+  std::lock_guard<std::mutex> lock(s->mutex);
+  // No output path and no atexit hook: the embedding process exports the
+  // document itself (the sweep worker writes it into its telemetry shard).
+  s->path.clear();
+  s->epoch = std::chrono::steady_clock::now();
+  g_state.store(1, std::memory_order_release);
+}
+
 void trace_disable() {
   // Keep -1 semantics out: after an explicit disable the environment is
   // never re-consulted.
@@ -145,37 +195,7 @@ Status trace_flush() {
     if (s->path.empty())
       return Status::InvalidArgument("trace_flush: tracing was never enabled");
     path = s->path;
-    json.reserve(128 + s->events.size() * 160);
-    json += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-    bool first = true;
-    for (const auto& [tid, name] : s->thread_names) {
-      if (!first) json += ",\n";
-      first = false;
-      json += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
-              ",\"name\":\"thread_name\",\"args\":{\"name\":\"" + name +
-              "\"}}";
-    }
-    char buf[96];
-    for (const auto& e : s->events) {
-      if (!first) json += ",\n";
-      first = false;
-      json += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
-              ",\"name\":\"";
-      json_escape(json, e.name);
-      std::snprintf(buf, sizeof(buf), "\",\"ts\":%.3f,\"dur\":%.3f,", e.ts_us,
-                    e.dur_us);
-      json += buf;
-      json += "\"args\":{\"id\":" + std::to_string(e.id) +
-              ",\"parent\":" + std::to_string(e.parent);
-      for (int a = 0; a < e.num_args; ++a) {
-        json += ",\"";
-        json_escape(json, e.arg_keys[a]);
-        std::snprintf(buf, sizeof(buf), "\":%.17g", e.arg_values[a]);
-        json += buf;
-      }
-      json += "}}";
-    }
-    json += "\n]}\n";
+    json = render_json_locked(*s);
   }
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Status::Io("cannot write trace file: " + path);
@@ -183,6 +203,12 @@ Status trace_flush() {
   out.flush();
   if (!out) return Status::Io("trace file write failed: " + path);
   return Status::Ok();
+}
+
+std::string trace_events_json() {
+  TraceState* s = state();
+  std::lock_guard<std::mutex> lock(s->mutex);
+  return render_json_locked(*s);
 }
 
 namespace trace_detail {

@@ -18,9 +18,11 @@
 // tools/trace_summary.py prints the top spans by self-time from it.
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "util/flight_recorder.hpp"
 #include "util/status.hpp"
 
 namespace vmap {
@@ -36,6 +38,12 @@ bool trace_enabled();
 /// tools.
 void trace_enable(const std::string& path);
 
+/// Starts collecting spans without an output file: the caller owns export
+/// via trace_events_json(). This is the sweep-worker shard mode — the
+/// supervisor hands each worker a shard path in the environment and the
+/// worker serializes its own document into that shard at exit.
+void trace_enable_capture();
+
 /// Stops collecting (already-collected events are kept for flushing).
 void trace_disable();
 
@@ -43,6 +51,11 @@ void trace_disable();
 /// Idempotent: rewrites the full file each call. Io error when the path
 /// cannot be written, InvalidArgument when tracing was never enabled.
 Status trace_flush();
+
+/// The collected events as a complete Chrome trace JSON document — the
+/// exact bytes trace_flush() would write. Usable in capture mode (no
+/// output path) where trace_flush() refuses.
+std::string trace_events_json();
 
 namespace trace_detail {
 
@@ -102,16 +115,25 @@ class TraceContextScope {
 /// RAII span. Construct at the top of a region; destruction records the
 /// event. Name pointers must outlive the span (string literals); dynamic
 /// names go through the std::string overload.
+///
+/// Spans also feed the crash flight recorder (span begin/end into the
+/// per-thread ring) even when tracing is off — that is the black box the
+/// fatal-signal dump reads. VMAP_FLIGHT=0 turns that feed off too, which
+/// restores the one-relaxed-load disabled fast path exactly.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
+    flight_begin(name);
     if (trace_enabled()) start(name);
   }
   explicit TraceSpan(std::string name) {
+    flight_begin(name.c_str());
     if (trace_enabled()) start(std::move(name));
   }
   ~TraceSpan() {
     if (id_ != 0) finish();
+    if (flight_name_[0] != '\0')
+      flight::record(flight::EventKind::kSpanEnd, flight_name_);
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -132,6 +154,17 @@ class TraceSpan {
   void start(std::string name);
   void finish();
 
+  /// Copies the name into the POD buffer (so the dtor's span_end never
+  /// touches name_, which start() may have moved out) and records the
+  /// begin event. flight_name_[0] == '\0' means "not recorded".
+  void flight_begin(const char* name) {
+    flight_name_[0] = '\0';
+    if (!flight::enabled()) return;
+    std::strncpy(flight_name_, name, sizeof(flight_name_) - 1);
+    flight_name_[sizeof(flight_name_) - 1] = '\0';
+    flight::record(flight::EventKind::kSpanBegin, flight_name_);
+  }
+
   // Members are cheap PODs (plus an empty string) so the disabled path
   // allocates nothing.
   std::string name_;
@@ -142,6 +175,7 @@ class TraceSpan {
   int num_args_ = 0;
   const char* arg_keys_[trace_detail::TraceEvent::kMaxArgs] = {};
   double arg_values_[trace_detail::TraceEvent::kMaxArgs] = {};
+  char flight_name_[flight::kNameBytes] = {};
 };
 
 }  // namespace vmap

@@ -1,0 +1,198 @@
+// Flight-recorder semantics: wraparound keeps the newest events, dumps
+// parse back losslessly, concurrent writers + dump-while-recording stay
+// race-free (the TSan run in tools/check_sanitize.sh leans on this test),
+// and the disable switch makes recording a no-op.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/flight_recorder.hpp"
+
+namespace vmap {
+namespace {
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    flight::reset_for_test();
+    flight::set_enabled(true);
+  }
+  void TearDown() override { flight::reset_for_test(); }
+};
+
+TEST_F(FlightRecorderTest, RecordsInOrderWithMonotonicSeq) {
+  flight::note("alpha");
+  flight::record(flight::EventKind::kSpanBegin, "beta");
+  flight::record(flight::EventKind::kCounter, "gamma", 2.5);
+  const auto events = flight::snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "alpha");
+  EXPECT_EQ(events[0].kind, flight::EventKind::kNote);
+  EXPECT_STREQ(events[1].name, "beta");
+  EXPECT_EQ(events[1].kind, flight::EventKind::kSpanBegin);
+  EXPECT_STREQ(events[2].name, "gamma");
+  EXPECT_DOUBLE_EQ(events[2].value, 2.5);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+}
+
+TEST_F(FlightRecorderTest, LongNamesTruncateNotOverflow) {
+  const std::string long_name(200, 'x');
+  flight::note(long_name.c_str());
+  const auto events = flight::snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::strlen(events[0].name), flight::kNameBytes - 1);
+}
+
+TEST_F(FlightRecorderTest, WraparoundKeepsTheNewestEvents) {
+  for (std::size_t i = 0; i < flight::kRingSlots + 50; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "ev%zu", i);
+    flight::note(name);
+  }
+  const auto events = flight::snapshot();
+  // The ring holds exactly kRingSlots; the oldest 50 were overwritten.
+  ASSERT_EQ(events.size(), flight::kRingSlots);
+  EXPECT_STREQ(events.front().name, "ev50");
+  char last[32];
+  std::snprintf(last, sizeof(last), "ev%zu", flight::kRingSlots + 49);
+  EXPECT_STREQ(events.back().name, last);
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+}
+
+TEST_F(FlightRecorderTest, DisabledRecordingIsANoOp) {
+  flight::set_enabled(false);
+  flight::note("invisible");
+  EXPECT_TRUE(flight::snapshot().empty());
+  flight::set_enabled(true);
+  flight::note("visible");
+  EXPECT_EQ(flight::snapshot().size(), 1u);
+}
+
+TEST_F(FlightRecorderTest, DumpParseRoundTripIsLossless) {
+  flight::note("worker.start");
+  flight::record(flight::EventKind::kSpanBegin, "solve");
+  flight::record(flight::EventKind::kCounter, "iters", 42.0);
+
+  char path[] = "/tmp/flight_dump_XXXXXX";
+  const int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  const std::size_t written = flight::dump(fd);
+  ::close(fd);
+  EXPECT_EQ(written, 3u);
+
+  std::string text;
+  {
+    std::FILE* f = std::fopen(path, "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    text.assign(buf, n);
+    std::fclose(f);
+  }
+  ::unlink(path);
+
+  const auto original = flight::snapshot();
+  const auto parsed = flight::parse_dump(text);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].seq, original[i].seq);
+    EXPECT_EQ(parsed[i].tid, original[i].tid);
+    EXPECT_EQ(parsed[i].kind, original[i].kind);
+    EXPECT_DOUBLE_EQ(parsed[i].value, original[i].value);
+    EXPECT_STREQ(parsed[i].name, original[i].name);
+  }
+  // format_events re-renders the exact dump lines: the supervisor's
+  // .flight files round-trip through the same code path.
+  EXPECT_EQ(flight::parse_dump(flight::format_events(parsed)).size(),
+            parsed.size());
+}
+
+TEST_F(FlightRecorderTest, ParseSkipsGarbageLines) {
+  const std::string text =
+      "random worker noise\n"
+      "FLIGHT 7 3 note 0 hello\n"
+      "FLIGHT not a valid line\n"
+      "[signal] crash dump follows\n"
+      "FLIGHT 9 3 counter 1.5 iters\n";
+  const auto events = flight::parse_dump(text);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 7u);
+  EXPECT_STREQ(events[0].name, "hello");
+  EXPECT_EQ(events[1].kind, flight::EventKind::kCounter);
+  EXPECT_DOUBLE_EQ(events[1].value, 1.5);
+}
+
+TEST_F(FlightRecorderTest, ConcurrentWritersGetDistinctTids) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 600;  // > kRingSlots: wraps while racing
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      char name[32];
+      std::snprintf(name, sizeof(name), "thread%d", t);
+      for (int i = 0; i < kPerThread; ++i)
+        flight::record(flight::EventKind::kNote, name,
+                       static_cast<double>(i));
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto events = flight::snapshot();
+  // Each thread's ring keeps its newest kRingSlots events.
+  EXPECT_EQ(events.size(), kThreads * flight::kRingSlots);
+  std::vector<std::uint32_t> tids;
+  for (const auto& e : events)
+    if (std::find(tids.begin(), tids.end(), e.tid) == tids.end())
+      tids.push_back(e.tid);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+}
+
+TEST_F(FlightRecorderTest, DumpWhileRecordingNeverTearsAnEvent) {
+  // Writers hammer their rings while readers snapshot continuously: the
+  // seqlock must hand back only whole events (name matches its value's
+  // writer), and TSan must stay quiet. Torn slots are allowed to be
+  // *skipped*, never returned corrupt.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&stop, t] {
+      char name[32];
+      std::snprintf(name, sizeof(name), "w%d", t);
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed))
+        flight::record(flight::EventKind::kCounter, name,
+                       static_cast<double>(++i));
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    const auto events = flight::snapshot();
+    for (const auto& e : events) {
+      ASSERT_EQ(e.name[0], 'w');
+      ASSERT_GE(e.name[1], '0');
+      ASSERT_LE(e.name[1], '2');
+      ASSERT_EQ(e.name[2], '\0');
+      ASSERT_GT(e.seq, 0u);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : writers) th.join();
+}
+
+}  // namespace
+}  // namespace vmap

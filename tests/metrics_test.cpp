@@ -119,9 +119,84 @@ TEST(Metrics, SnapshotJsonHasAllSections) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(json.find("\"test.json.counter\""), std::string::npos);
   EXPECT_NE(json.find("\"test.json.gauge\""), std::string::npos);
-  EXPECT_NE(json.find("\"le\":\"inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Metrics, QuantileInterpolatesWithinABucket) {
+  // 100 observations spread uniformly through one (0, 10] bucket: rank
+  // q*100 lands q of the way through it, so the interpolated quantile is
+  // simply 10q — checkable exactly.
+  metrics::Histogram& h =
+      metrics::histogram("test.hist.quantile.uniform", {10.0, 20.0});
+  h.reset();
+  for (int i = 0; i < 100; ++i) h.observe(5.0);
+  const auto snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(metrics::histogram_quantile(snap, 0.50), 5.0);
+  EXPECT_DOUBLE_EQ(metrics::histogram_quantile(snap, 0.90), 9.0);
+  EXPECT_DOUBLE_EQ(metrics::histogram_quantile(snap, 0.99), 9.9);
+  EXPECT_DOUBLE_EQ(metrics::histogram_quantile(snap, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(metrics::histogram_quantile(snap, 1.0), 10.0);
+}
+
+TEST(Metrics, QuantileCrossesBuckets) {
+  // 50 observations in (0,1], 50 in (1,2]: the median sits exactly at
+  // the bucket edge; p75 is halfway into the second bucket.
+  metrics::Histogram& h =
+      metrics::histogram("test.hist.quantile.cross", {1.0, 2.0});
+  h.reset();
+  for (int i = 0; i < 50; ++i) h.observe(0.5);
+  for (int i = 0; i < 50; ++i) h.observe(1.5);
+  const auto snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(metrics::histogram_quantile(snap, 0.50), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::histogram_quantile(snap, 0.75), 1.5);
+  EXPECT_DOUBLE_EQ(metrics::histogram_quantile(snap, 0.25), 0.5);
+}
+
+TEST(Metrics, QuantileClampsOverflowToLastBound) {
+  // Everything in the +Inf overflow bucket: the histogram cannot resolve
+  // beyond its last finite bound, so every quantile clamps there.
+  metrics::Histogram& h =
+      metrics::histogram("test.hist.quantile.overflow", {1.0, 8.0});
+  h.reset();
+  for (int i = 0; i < 10; ++i) h.observe(1000.0);
+  const auto snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(metrics::histogram_quantile(snap, 0.5), 8.0);
+  EXPECT_DOUBLE_EQ(metrics::histogram_quantile(snap, 0.99), 8.0);
+}
+
+TEST(Metrics, QuantileOfEmptyHistogramIsZero) {
+  metrics::Histogram& h =
+      metrics::histogram("test.hist.quantile.empty", {1.0});
+  h.reset();
+  EXPECT_DOUBLE_EQ(metrics::histogram_quantile(h.snapshot(), 0.99), 0.0);
+}
+
+TEST(Metrics, PrometheusTextExposition) {
+  metrics::counter("test.prom.counter").add(3);
+  metrics::gauge("test.prom.gauge").set(1.25);
+  metrics::Histogram& h =
+      metrics::histogram("test.prom.hist", {1.0, 2.0});
+  h.reset();
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(99.0);
+  const std::string text = metrics::metrics_text();
+  EXPECT_NE(text.find("vmap_test_prom_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("vmap_test_prom_gauge 1.25"), std::string::npos);
+  // Cumulative buckets: le="2" includes the le="1" observation.
+  EXPECT_NE(text.find("vmap_test_prom_hist_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("vmap_test_prom_hist_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("vmap_test_prom_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("vmap_test_prom_hist_count 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE vmap_test_prom_counter counter"),
+            std::string::npos);
 }
 
 TEST(Metrics, ResetAllZeroesEverything) {

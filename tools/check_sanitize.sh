@@ -5,8 +5,9 @@
 #       build-sanitize): AddressSanitizer + UndefinedBehaviorSanitizer over
 #       the full tier-1 test suite.
 #   tools/check_sanitize.sh tsan [build-dir]     (default dir build-tsan):
-#       ThreadSanitizer over the thread-pool and dataset-collection tests —
-#       the parts that exercise the parallel execution layer.
+#       ThreadSanitizer over the thread-pool, dataset-collection, and
+#       flight-recorder tests — the parts that exercise the parallel
+#       execution layer and the lock-free crash ring.
 #   tools/check_sanitize.sh resilience [build-dir]  (default dir
 #       build-sanitize): ASan+UBSan over just the error-taxonomy and
 #       resilience tests — the fast gate for changes to the fallback
@@ -40,12 +41,12 @@ if [[ "$MODE" == "tsan" ]]; then
   cmake -B "$BUILD_DIR" -S . -DVMAP_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
-    --target parallel_test dataset_pipeline_test
+    --target parallel_test dataset_pipeline_test flight_recorder_test
   export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
   # Run with more worker threads than cores so interleavings actually occur.
   export VMAP_THREADS=4
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R 'parallel_test|dataset_pipeline_test'
+    -R 'parallel_test|dataset_pipeline_test|flight_recorder_test'
   echo "thread-sanitize check passed (${BUILD_DIR})"
 elif [[ "$MODE" == "chaos" ]]; then
   BUILD_DIR="${1:-build-tsan}"
@@ -67,19 +68,22 @@ elif [[ "$MODE" == "sweep" ]]; then
   cmake -B "$BUILD_DIR" -S . -DVMAP_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
-    --target sweep_journal_test sweep_test sweep_worker sweep_suite
+    --target sweep_journal_test sweep_test telemetry_merge_test \
+    sweep_worker sweep_suite
   export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
   export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R 'sweep_journal_test|sweep_test'
+    -R 'sweep_journal_test|sweep_test|telemetry_merge_test'
   # The kill/resume identity gate: a reference sweep of the tiny 3x2
   # matrix, then a supervisor SIGKILLed mid-sweep and resumed from its
   # journal; exit 1 if the final CSV/JSON differ by one byte or any job
-  # was lost. Real sweep_worker subprocesses run under ASan too.
+  # was lost. Real sweep_worker subprocesses run under ASan too, and
+  # --telemetry on additionally gates shard-merge determinism plus the
+  # quarantine flight-tail contract.
   rm -rf "$BUILD_DIR"/sweep_smoke
   "$BUILD_DIR"/bench/sweep_suite --inject supervisor_kill \
     --worker "$BUILD_DIR"/tools/sweep_worker \
-    --work-dir "$BUILD_DIR"/sweep_smoke --parallel 2
+    --work-dir "$BUILD_DIR"/sweep_smoke --parallel 2 --telemetry on
   echo "sweep sanitize check passed (${BUILD_DIR})"
 elif [[ "$MODE" == "resilience" ]]; then
   BUILD_DIR="${1:-build-sanitize}"

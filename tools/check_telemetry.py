@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validate the sweep fleet's telemetry artifacts, or compare two run
+reports' scalars byte-exactly.
+
+Validation mode (the CI telemetry-smoke job):
+
+  tools/check_telemetry.py --trace sweep_out/sweep_trace.json \
+                           --report sweep_out/sweep_report.json
+
+checks that the merged trace is well-formed Chrome-trace JSON — a
+supervisor process row, one process_name/process_labels row pair per
+job, a job_meta instant event for every merged shard, X events carrying
+pid/tid/ts/dur — and that the sweep report's telemetry section is
+consistent with it (shards_merged + shards_missing == jobs, counter
+totals equal the per-axis sums along every axis).
+
+Scalar-compare mode (telemetry-off byte-identity):
+
+  tools/check_telemetry.py --compare-scalars a.json b.json
+
+exits nonzero unless the two reports' "scalars" sections are exactly
+equal (same keys, bit-identical values) — the proof that turning
+telemetry off leaves results untouched.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_telemetry: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_trace(trace, report):
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail("merged trace has no traceEvents array")
+
+    process_names = {}
+    labels = {}
+    metas = set()
+    for e in events:
+        if not isinstance(e, dict):
+            return fail("non-object trace event")
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in e:
+                return fail(f"trace event missing '{key}': {e}")
+        if e["ph"] == "M" and e["name"] == "process_name":
+            process_names[e["pid"]] = e["args"]["name"]
+        elif e["ph"] == "M" and e["name"] == "process_labels":
+            labels[e["pid"]] = e["args"]["labels"]
+        elif e["ph"] == "i" and e["name"] == "job_meta":
+            for key in ("scenario", "attempt", "status"):
+                if key not in e.get("args", {}):
+                    return fail(f"job_meta missing '{key}': {e}")
+            metas.add(e["pid"])
+        elif e["ph"] == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(e.get(key), (int, float)):
+                    return fail(f"X event with non-numeric '{key}': {e}")
+
+    if process_names.get(1) != "sweep_supervisor":
+        return fail("pid 1 is not the sweep_supervisor process row")
+    job_pids = {pid for pid, name in process_names.items()
+                if name.startswith("job_")}
+    if not job_pids:
+        return fail("no job process rows in the merged trace")
+    missing_labels = job_pids - set(labels)
+    if missing_labels:
+        return fail(f"job pids without a status label: {missing_labels}")
+
+    tele = report.get("telemetry")
+    if not isinstance(tele, dict):
+        return fail("sweep report has no telemetry section")
+    for key in ("shards_merged", "shards_missing", "flight_jobs",
+                "counters_total", "by_axis"):
+        if key not in tele:
+            return fail(f"telemetry section missing '{key}'")
+    if tele["shards_merged"] + tele["shards_missing"] != len(job_pids):
+        return fail(
+            f"shards_merged+shards_missing = "
+            f"{tele['shards_merged'] + tele['shards_missing']} but the "
+            f"trace holds {len(job_pids)} jobs")
+    if len(metas) != tele["shards_merged"]:
+        return fail(f"{len(metas)} job_meta events != "
+                    f"{tele['shards_merged']} merged shards")
+
+    totals = tele["counters_total"]
+    for axis, groups in tele["by_axis"].items():
+        sums = {}
+        for counters in groups.values():
+            for name, value in counters.items():
+                sums[name] = sums.get(name, 0) + value
+        if sums != totals:
+            return fail(f"axis '{axis}' counter sums {sums} != "
+                        f"counters_total {totals}")
+
+    rows = report.get("rows", [])
+    print(f"check_telemetry: OK — {len(job_pids)} jobs, "
+          f"{tele['shards_merged']} shards merged, "
+          f"{tele['flight_jobs']} flight tails, "
+          f"{sum(1 for e in events if e.get('ph') == 'X')} spans"
+          f"{', ' + str(len(rows)) + ' report rows' if rows else ''}")
+    return 0
+
+
+def compare_scalars(path_a, path_b):
+    a, b = load(path_a), load(path_b)
+    sa, sb = a.get("scalars"), b.get("scalars")
+    if sa is None or sb is None:
+        return fail("a report has no scalars section")
+    if set(sa) != set(sb):
+        only_a = set(sa) - set(sb)
+        only_b = set(sb) - set(sa)
+        return fail(f"scalar keys differ (only in {path_a}: {only_a}; "
+                    f"only in {path_b}: {only_b})")
+    diffs = [k for k in sa if sa[k] != sb[k]]
+    if diffs:
+        detail = ", ".join(f"{k}: {sa[k]} != {sb[k]}" for k in diffs)
+        return fail(f"scalars diverge: {detail}")
+    print(f"check_telemetry: OK — {len(sa)} scalars byte-identical")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="validate merged sweep telemetry, or compare report "
+                    "scalars byte-exactly")
+    parser.add_argument("--trace", help="merged sweep_trace.json")
+    parser.add_argument("--report", help="sweep_report.json with telemetry")
+    parser.add_argument("--compare-scalars", nargs=2,
+                        metavar=("A", "B"),
+                        help="two run-report JSONs whose scalars must match")
+    args = parser.parse_args()
+
+    if args.compare_scalars:
+        return compare_scalars(*args.compare_scalars)
+    if not args.trace or not args.report:
+        parser.error("need --trace and --report (or --compare-scalars)")
+    try:
+        trace = load(args.trace)
+        report = load(args.report)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot read input: {e}")
+    return check_trace(trace, report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

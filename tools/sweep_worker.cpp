@@ -16,6 +16,7 @@
 // chaos harness can prove those failures stay contained.
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -25,7 +26,9 @@
 #include "core/ols_model.hpp"
 #include "core/pipeline.hpp"
 #include "sweep/scenario.hpp"
+#include "sweep/telemetry.hpp"
 #include "util/cli.hpp"
+#include "util/flight_recorder.hpp"
 #include "util/hash.hpp"
 #include "util/parallel.hpp"
 #include "workload/benchmark_suite.hpp"
@@ -33,6 +36,20 @@
 using namespace vmap;
 
 namespace {
+
+/// SIGTERM = the supervisor's deadline expiring (soft kill before the
+/// hard SIGKILL). Dump the flight ring so a hang_timeout quarantine still
+/// carries the worker's last recorded events, then die with the default
+/// disposition so the supervisor classifies the signal normally.
+void term_dump_handler(int sig) {
+  static volatile std::sig_atomic_t fired = 0;
+  if (!fired) {
+    fired = 1;
+    vmap::flight::dump(2);
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
 
 int run_injection(const std::string& mode) {
   if (mode == "worker_crash") {
@@ -65,8 +82,24 @@ int main(int argc, char** argv) {
                 "worker_garbage_output");
   try {
     if (!args.parse(argc, argv)) return 0;
+
+    // Telemetry plumbing before anything that can fail: crash/abort dumps
+    // the flight ring to stderr (captured by the supervisor), SIGTERM does
+    // the same on a deadline soft-kill, and the atexit shard hook fires on
+    // every clean exit — including injected garbage-output exits.
+    flight::install_crash_dump();
+    std::signal(SIGTERM, term_dump_handler);
+    sweep::init_worker_telemetry_from_env(
+        std::strtoull(args.get("job").c_str(), nullptr, 10),
+        std::strtoull(args.get("attempt").c_str(), nullptr, 10),
+        args.get("scenario"));
+    flight::note("worker.start");
+
     const std::string inject = args.get("inject");
-    if (!inject.empty()) return run_injection(inject);
+    if (!inject.empty()) {
+      flight::note("chaos.inject");
+      return run_injection(inject);
+    }
 
     // One solver thread: the *supervisor* owns parallelism (one worker
     // process per slot), and single-threaded solves keep results exactly
