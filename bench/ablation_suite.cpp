@@ -8,6 +8,10 @@
 //  C. Per-core vs whole-chip GL decomposition.
 //  D. BCD vs FISTA on the same per-core problem — support agreement,
 //     objective gap, runtime.
+//  E. Model-backend matrix — every registered selection x prediction pair
+//     head-to-head on the Table-2 metrics and fit wall time.
+//
+// --sections picks a subset (e.g. --sections=e for the CI ablation gate).
 
 #include <cctype>
 #include <cstdio>
@@ -16,6 +20,7 @@
 #include "common.hpp"
 #include "core/baselines.hpp"
 #include "core/eagle_eye.hpp"
+#include "core/emergency.hpp"
 #include "core/group_lasso.hpp"
 #include "core/normalizer.hpp"
 #include "core/ols_model.hpp"
@@ -202,23 +207,81 @@ void solver_ablation(const benchutil::Platform& platform,
               "sweeps are cheaper on sparse solutions)\n");
 }
 
+void backend_matrix_ablation(const benchutil::Platform& platform,
+                             std::size_t sensors_per_core,
+                             benchutil::RunReport& report) {
+  const auto& data = platform.data;
+  const double vth = platform.setup.data.emergency_threshold;
+  std::printf("\n== E. model-backend matrix at %zu sensors per core ==\n",
+              sensors_per_core);
+  TablePrinter table({"selection", "prediction", "#sensors", "rel error(%)",
+                      "ME", "WAE", "TE", "fit(ms)"});
+  for (const char* sel : {"group_lasso", "greedy_r2"}) {
+    for (const char* pred : {"ols", "spatial"}) {
+      core::PipelineConfig config;
+      config.lambda = 6.0;
+      config.sensors_per_core = sensors_per_core;
+      config.selection = sel;
+      config.prediction = pred;
+      Timer timer;
+      const auto model = core::fit_placement(data, *platform.floorplan,
+                                             config, platform.report.get());
+      const double fit_ms = timer.millis();
+      const linalg::Matrix f_pred = model.predict(data.x_test);
+      const double err = core::relative_error(data.f_test, f_pred);
+      const auto det =
+          core::evaluate_prediction_detector(data.f_test, f_pred, vth);
+
+      // Scalar keys carry the backend names so the CI ablation gate can
+      // pattern-match rows: "backend.*spatial*" is tolerance-gated while
+      // the GL+OLS row stays byte-exact.
+      const std::string key = std::string("backend.") + sel + "+" + pred;
+      report.scalar(key + ".rel_err", err);
+      report.scalar(key + ".me", det.miss_rate());
+      report.scalar(key + ".wae", det.wrong_alarm_rate());
+      report.scalar(key + ".te", det.total_error_rate());
+      report.scalar(key + ".sensors",
+                    static_cast<double>(model.sensor_rows().size()));
+      report.timing(key + ".fit", fit_ms);
+      table.add_row({sel, pred, TablePrinter::fmt(model.sensor_rows().size()),
+                     TablePrinter::fmt(100.0 * err, 3),
+                     TablePrinter::fmt(det.miss_rate(), 4),
+                     TablePrinter::fmt(det.wrong_alarm_rate(), 4),
+                     TablePrinter::fmt(det.total_error_rate(), 4),
+                     TablePrinter::fmt(fit_ms, 1)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("(group_lasso+ols is the paper; the spatial surrogate adds "
+              "grid-geometry patch features, greedy_r2 swaps the selector)\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args("ablation_suite — design-choice ablations (DESIGN.md §5)");
   benchutil::add_common_flags(args);
   args.add_flag("sensors", "2", "sensors per core for the placement table");
+  args.add_flag("sections", "abcde",
+                "which ablation sections to run (any subset of \"abcde\")");
   try {
     if (!args.parse(argc, argv)) return 0;
+    std::string sections = args.get("sections");
+    for (char& c : sections)
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    const auto enabled = [&sections](char c) {
+      return sections.find(c) != std::string::npos;
+    };
+    const auto sensors = static_cast<std::size_t>(args.get_int("sensors"));
     const auto platform = benchutil::load_platform(args);
     benchutil::RunReport report("ablation_suite");
+    report.tag("sections", sections);
     report.timing("platform_load", platform.load_ms);
-    placement_ablation(platform,
-                       static_cast<std::size_t>(args.get_int("sensors")),
-                       report);
-    refit_ablation(platform, report);
-    decomposition_ablation(platform, report);
-    solver_ablation(platform, report);
+    if (enabled('a')) placement_ablation(platform, sensors, report);
+    if (enabled('b')) refit_ablation(platform, report);
+    if (enabled('c')) decomposition_ablation(platform, report);
+    if (enabled('d')) solver_ablation(platform, report);
+    if (enabled('e')) backend_matrix_ablation(platform, sensors, report);
     benchutil::write_report(args, &platform, report);
     benchutil::print_resilience(platform);
     return 0;

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
       "table2_error_rates — Table 2: ME/WAE/TE per benchmark, Eagle-Eye vs "
       "proposed, 2 sensors per core");
   benchutil::add_common_flags(args);
+  benchutil::add_backend_flags(args);
   args.add_flag("sensors", "2", "sensors per core for both approaches");
   args.add_flag("eagle-strategy", "worst-noise",
                 "Eagle-Eye placement: worst-noise | coverage");
@@ -46,9 +47,11 @@ int main(int argc, char** argv) {
         core::eagle_eye_place(data, *platform.floorplan, sensors, ee);
     const double eagle_ms = t_eagle.millis();
 
+    benchutil::RunReport report("table2_error_rates");
     core::PipelineConfig config;
     config.lambda = benchutil::scaled_lambda(args, 60.0);
     config.sensors_per_core = sensors;
+    benchutil::apply_backend_flags(args, config, report);
     Timer t_fit;
     const auto model = core::fit_placement(data, *platform.floorplan, config,
                                            platform.report.get());
@@ -57,9 +60,10 @@ int main(int argc, char** argv) {
     std::printf("== Table 2: error rates with %zu sensors per core "
                 "(emergency: V < %.2f) ==\n",
                 sensors, vth);
-    std::printf("Eagle-Eye strategy: %s; proposed: group lasso + OLS "
+    std::printf("Eagle-Eye strategy: %s; proposed: %s selection + %s "
                 "prediction\n\n",
-                strategy.c_str());
+                strategy.c_str(), config.selection.c_str(),
+                config.prediction.c_str());
 
     TablePrinter table({"benchmark", "P(emerg)", "EE ME", "EE WAE", "EE TE",
                         "our ME", "our WAE", "our TE", "TE ratio"});
@@ -116,7 +120,6 @@ int main(int argc, char** argv) {
     std::printf("(paper: proposed ME and TE are about half of Eagle-Eye's "
                 "on every benchmark; WAE < 1e-3 for both)\n");
 
-    benchutil::RunReport report("table2_error_rates");
     report.scalar("mean_ee_me", ee_me_sum / nb);
     report.scalar("mean_ee_te", ee_te_sum / nb);
     report.scalar("mean_our_me", our_me_sum / nb);

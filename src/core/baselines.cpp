@@ -122,11 +122,9 @@ std::vector<std::size_t> place_pca_leverage(const Dataset& data,
   return rows;
 }
 
-namespace {
-
 /// Greedy forward selection over one candidate set in Gram space.
 /// Returns local candidate indices (into `candidate_rows`).
-std::vector<std::size_t> greedy_r2_local(
+std::vector<std::size_t> greedy_r2_select(
     const linalg::Matrix& x,  // local candidates x samples (raw)
     const linalg::Matrix& f,  // local responses x samples (raw)
     std::size_t count) {
@@ -221,8 +219,6 @@ std::vector<std::size_t> greedy_r2_local(
   return selected;
 }
 
-}  // namespace
-
 std::vector<std::size_t> place_greedy_r2(const Dataset& data,
                                          const chip::Floorplan& floorplan,
                                          std::size_t sensors_per_core) {
@@ -235,7 +231,7 @@ std::vector<std::size_t> place_greedy_r2(const Dataset& data,
                  "core without candidates or monitored nodes");
     const linalg::Matrix x = data.x_train.select_rows(candidate_rows);
     const linalg::Matrix f = data.f_train.select_rows(critical_rows);
-    for (std::size_t local : greedy_r2_local(x, f, sensors_per_core))
+    for (std::size_t local : greedy_r2_select(x, f, sensors_per_core))
       all.push_back(candidate_rows[local]);
   }
   std::sort(all.begin(), all.end());

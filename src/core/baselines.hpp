@@ -58,6 +58,15 @@ std::vector<std::size_t> place_greedy_r2(const Dataset& data,
                                          const chip::Floorplan& floorplan,
                                          std::size_t sensors_per_core);
 
+/// One-core building block of place_greedy_r2, exposed for the greedy_r2
+/// selection backend (core/backend.hpp): greedy forward selection on
+/// already-restricted matrices `x` (local candidates x samples) and `f`
+/// (local responses x samples). Returns local row indices into `x`, in
+/// selection order (not sorted).
+std::vector<std::size_t> greedy_r2_select(const linalg::Matrix& x,
+                                          const linalg::Matrix& f,
+                                          std::size_t count);
+
 /// Fits one chip-wide OLS model on the given sensor rows (training split),
 /// then evaluates prediction accuracy and emergency detection on the test
 /// split. The emergency threshold comes from the dataset config.

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
-#include "core/normalizer.hpp"
-#include "core/ols_model.hpp"
-#include "core/sensor_selection.hpp"
+#include "core/backend.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
@@ -118,33 +117,8 @@ linalg::Vector PlacementModel::predict_sample(
 
 namespace {
 
-/// Converts group-lasso coefficients (normalized space, restricted to the
-/// selected columns) into a raw-unit affine model — the no-refit ablation.
-void gl_coefficients_to_affine(const GroupLassoResult& gl,
-                               const std::vector<std::size_t>& selected_local,
-                               const Normalizer& x_norm,
-                               const Normalizer& f_norm, CoreModel& core) {
-  const std::size_t k_count = gl.beta.rows();
-  const std::size_t q = selected_local.size();
-  core.alpha = linalg::Matrix(k_count, q);
-  core.intercept = linalg::Vector(k_count);
-  for (std::size_t k = 0; k < k_count; ++k) {
-    const double sf = f_norm.is_degenerate(k) ? 0.0 : f_norm.stddevs()[k];
-    double c = f_norm.means()[k];
-    for (std::size_t j = 0; j < q; ++j) {
-      const std::size_t m = selected_local[j];
-      const double sx = x_norm.stddevs()[m];
-      const double a = x_norm.is_degenerate(m)
-                           ? 0.0
-                           : sf * gl.beta(k, m) / sx;
-      core.alpha(k, j) = a;
-      c -= a * x_norm.means()[m];
-    }
-    core.intercept[k] = c;
-  }
-}
-
-CoreModel fit_core(const Dataset& data, std::size_t core_index,
+CoreModel fit_core(const Dataset& data, const chip::Floorplan& floorplan,
+                   std::size_t core_index,
                    std::vector<std::size_t> candidate_rows,
                    std::vector<std::size_t> block_rows,
                    const PipelineConfig& config, ResilienceReport* report) {
@@ -163,82 +137,39 @@ CoreModel fit_core(const Dataset& data, std::size_t core_index,
   core.candidate_rows = std::move(candidate_rows);
   core.block_rows = std::move(block_rows);
 
-  // Steps 2-3: restrict + normalize.
-  const linalg::Matrix x = data.x_train.select_rows(core.candidate_rows);
-  const linalg::Matrix f = data.f_train.select_rows(core.block_rows);
-  const Normalizer x_norm(x);
-  const Normalizer f_norm(f);
-  const linalg::Matrix z = x_norm.normalize(x);
-  const linalg::Matrix g = f_norm.normalize(f);
+  const CoreFitContext ctx{data,          floorplan, core_index,
+                           core.candidate_rows, core.block_rows,
+                           config,        report};
 
-  // Step 4: budgeted group lasso. A numerical breakdown in FISTA (the
-  // gradient path can blow up on pathological Grams) is retried with BCD,
-  // whose exact group updates cannot overshoot.
-  const GroupLassoProblem problem = GroupLassoProblem::from_data(z, g);
-  GroupLasso solver(problem, config.gl_options);
-  GroupLassoResult gl = solver.solve_budget(config.lambda);
-  if (!gl.status.ok() && config.gl_options.solver == GlSolver::kFista) {
-    if (report)
-      report->record("group_lasso", ResilienceAction::kFallback,
-                     "core " + std::to_string(core_index) + ": FISTA failed (" +
-                         gl.status.to_string() + "); retrying with BCD",
-                     gl.status.code());
-    VMAP_LOG(kWarn) << "core " << core_index << ": FISTA failed ("
-                    << gl.status.to_string() << "); retrying with BCD";
-    GroupLassoOptions bcd_options = config.gl_options;
-    bcd_options.solver = GlSolver::kBcd;
-    GroupLasso bcd_solver(problem, bcd_options);
-    gl = bcd_solver.solve_budget(config.lambda);
+  auto selector = make_selection_backend(config.selection);
+  if (!selector.ok()) throw StatusError(selector.status());
+  SelectionOutcome selection;
+  {
+    TraceSpan sel_span("backend.sel." + config.selection);
+    selection = selector.value()->select_core(ctx);
   }
-  if (!gl.status.ok()) throw StatusError(gl.status);
-  if (!gl.converged) {
-    // Inexact but usable: the solve stopped at the iteration cap. Surface
-    // it — selection quality may suffer — but keep going.
-    VMAP_LOG(kWarn) << "core " << core_index
-                    << ": group lasso stopped at the iteration cap; using "
-                       "the inexact solution";
-    if (report)
-      report->record("group_lasso", ResilienceAction::kNote,
-                     "core " + std::to_string(core_index) +
-                         ": iteration cap hit; using the inexact solution",
-                     ErrorCode::kNotConverged, gl.budget);
-  }
-  core.group_norms = gl.group_norms;
+  VMAP_REQUIRE(!selection.selected_rows.empty(),
+               "selection backend returned no sensors");
+  core.group_norms = std::move(selection.group_norms);
+  core.selected_rows = std::move(selection.selected_rows);
 
-  // Step 5: selection. The OLS refit needs more samples than regressors,
-  // so selections are capped at N-1 sensors per core.
-  const std::size_t cap = std::min(core.candidate_rows.size(),
-                                   data.x_train.cols() - 1);
-  SensorSelection selection =
-      config.sensors_per_core
-          ? select_top_k(gl,
-                         std::min<std::size_t>(*config.sensors_per_core, cap))
-          : select_sensors(gl, config.threshold);
-  if (selection.indices.empty()) {
-    VMAP_LOG(kWarn) << "core " << core_index << ": lambda=" << config.lambda
-                    << " selected no sensor; falling back to the strongest "
-                       "candidate";
-    selection = select_top_k(gl, 1);
-  } else if (selection.indices.size() > cap) {
-    VMAP_LOG(kWarn) << "core " << core_index << ": selection of "
-                    << selection.indices.size()
-                    << " sensors exceeds the sample budget; keeping the top "
-                    << cap;
-    selection = select_top_k(gl, cap);
-  }
-
-  core.selected_rows.reserve(selection.indices.size());
-  for (std::size_t local : selection.indices)
-    core.selected_rows.push_back(core.candidate_rows[local]);
-
-  // Steps 6-8: prediction model on the selected sensors.
   if (config.refit_ols) {
-    const linalg::Matrix x_sel = data.x_train.select_rows(core.selected_rows);
-    OlsModel ols(x_sel, f, report);
-    core.alpha = ols.alpha();
-    core.intercept = ols.intercept();
+    auto predictor = make_prediction_backend(config.prediction);
+    if (!predictor.ok()) throw StatusError(predictor.status());
+    TraceSpan pred_span("backend.pred." + config.prediction);
+    PredictionFit fit = predictor.value()->fit_core(ctx, core.selected_rows);
+    core.alpha = std::move(fit.alpha);
+    core.intercept = std::move(fit.intercept);
   } else {
-    gl_coefficients_to_affine(gl, selection.indices, x_norm, f_norm, core);
+    // The no-refit ablation reuses the selection statistic as the model;
+    // only backends whose statistic is a regression can supply it.
+    if (!selection.raw_alpha || !selection.raw_intercept)
+      throw StatusError(Status::InvalidArgument(
+          "refit_ols=false needs a selection backend that exposes raw "
+          "coefficients (only 'group_lasso' does), got '" +
+          config.selection + "'"));
+    core.alpha = std::move(*selection.raw_alpha);
+    core.intercept = std::move(*selection.raw_intercept);
   }
   return core;
 }
@@ -257,6 +188,16 @@ PlacementModel fit_placement(const Dataset& data,
   VMAP_REQUIRE(data.critical_block.size() == data.num_blocks(),
                "dataset critical-node/block mapping is inconsistent");
 
+  // Validate both backend names on the caller's thread before fanning out,
+  // so an unknown name fails fast as one InvalidArgument instead of
+  // surfacing from inside the parallel region.
+  {
+    auto selector = make_selection_backend(config.selection);
+    if (!selector.ok()) throw StatusError(selector.status());
+    auto predictor = make_prediction_backend(config.prediction);
+    if (!predictor.ok()) throw StatusError(predictor.status());
+  }
+
   std::vector<CoreModel> cores;
   if (config.per_core) {
     // The per-core problems are independent; fit them concurrently. Each
@@ -264,7 +205,7 @@ PlacementModel fit_placement(const Dataset& data,
     // to the serial fit at any thread count.
     cores.resize(floorplan.core_count());
     parallel_for(0, floorplan.core_count(), [&](std::size_t c) {
-      cores[c] = fit_core(data, c,
+      cores[c] = fit_core(data, floorplan, c,
                           data.candidate_rows_for_core(floorplan, c),
                           data.critical_rows_for_core(floorplan, c),
                           config, report);
@@ -274,7 +215,7 @@ PlacementModel fit_placement(const Dataset& data,
     std::iota(all_candidates.begin(), all_candidates.end(), 0);
     std::vector<std::size_t> all_blocks(data.num_blocks());
     std::iota(all_blocks.begin(), all_blocks.end(), 0);
-    cores.push_back(fit_core(data, 0, std::move(all_candidates),
+    cores.push_back(fit_core(data, floorplan, 0, std::move(all_candidates),
                              std::move(all_blocks), config, report));
   }
 

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "chip/floorplan.hpp"
@@ -24,6 +25,17 @@
 
 namespace vmap::core {
 
+/// Spatial-surrogate prediction backend knobs (see spatial_surrogate.hpp).
+struct SurrogateOptions {
+  /// Ridge penalty in standardized feature space, scaled by the sample
+  /// count inside the solve (dimensionless).
+  double ridge = 1e-3;
+  /// Inverse-distance weighting exponent for neighbor-voltage aggregates.
+  double idw_power = 2.0;
+  /// Tile radius of the local power-density patch around a monitored node.
+  std::size_t density_radius = 3;
+};
+
 struct PipelineConfig {
   double lambda = 30.0;    ///< per-core GL budget (Eq. 12's λ)
   double threshold = 1e-3; ///< selection threshold T on ||β_m||₂
@@ -33,6 +45,12 @@ struct PipelineConfig {
   bool refit_ols = true;   ///< §2.3 refit; false = raw GL coefficients
   bool per_core = true;    ///< false = one chip-wide GL problem
   GroupLassoOptions gl_options;
+  /// Model backends (core/backend.hpp registry names). The defaults route
+  /// the paper's pipeline — group-lasso selection + OLS refit — through
+  /// the backend seams bit-identically to the historic hard-wired path.
+  std::string selection = "group_lasso";
+  std::string prediction = "ols";
+  SurrogateOptions surrogate;  ///< used when prediction == "spatial"
 };
 
 /// Per-core fitted artifacts.
@@ -88,12 +106,14 @@ class PlacementModel {
   std::size_t num_blocks_ = 0;
 };
 
-/// Runs the methodology on a dataset. Throws on configuration errors; falls
-/// back to the strongest single candidate if a core's GL solution selects
-/// nothing at the given λ/T (logged). Numerical breakdowns are handled by
-/// the solver guardrails (FISTA → BCD retry, rank-deficient OLS → ridge
-/// refit); each recovery is recorded into `report` when one is supplied.
-/// Throws StatusError only when every fallback fails.
+/// Runs the methodology on a dataset. Throws on configuration errors —
+/// including StatusError(kInvalidArgument) for an unknown backend name,
+/// raised before any per-core work starts; falls back to the strongest
+/// single candidate if a core's GL solution selects nothing at the given
+/// λ/T (logged). Numerical breakdowns are handled by the solver guardrails
+/// (FISTA → BCD retry, rank-deficient OLS → ridge refit); each recovery is
+/// recorded into `report` when one is supplied. Throws StatusError only
+/// when every fallback fails.
 PlacementModel fit_placement(const Dataset& data,
                              const chip::Floorplan& floorplan,
                              const PipelineConfig& config,

@@ -98,6 +98,27 @@ def print_summary(events, top):
         print(f"{'(other)':<36} {'':>8} {rest / 1e3:>12.2f}")
 
 
+def print_backends(events):
+    """Model-backend section: 'backend.sel.<name>' / 'backend.pred.<name>'
+    spans emitted by the placement pipeline, aggregated per backend so a
+    fit's time splits into selection vs prediction at a glance. Silent when
+    the trace has no backend spans (non-pipeline workloads)."""
+    backend = [e for e in events
+               if e.get("name", "").startswith("backend.")]
+    if not backend:
+        return
+    stats = span_stats(backend, lambda e: e.get("name", "?"))
+    print()
+    header = f"{'model backend':<36} {'count':>8} {'total(ms)':>12} " \
+             f"{'mean(ms)':>10}"
+    print(header)
+    print("-" * len(header))
+    for name, s in sorted(stats.items(),
+                          key=lambda kv: -kv[1]["total"]):
+        print(f"{name:<36} {s['count']:>8} {s['total'] / 1e3:>12.2f} "
+              f"{s['total'] / s['count'] / 1e3:>10.2f}")
+
+
 def print_per_job(all_events, events, paths):
     jobs = job_metadata(all_events)
     if not jobs:
@@ -169,6 +190,7 @@ def main():
         return 0
 
     print_summary(events, args.top)
+    print_backends(events)
     if args.per_job:
         return print_per_job(all_events, events, args.paths)
     return 0
